@@ -1,0 +1,68 @@
+"""Ablation: vertex-ordering optimizations on the same stream ISA.
+
+Another instance of the paper's flexibility argument: GPM software
+routinely relabels the input graph (degree or degeneracy order) so that
+symmetry-breaking upper bounds prune harder.  SparseCore inherits the
+optimization untouched — identical instructions, better-numbered
+operands — where a hardwired exploration engine would need its
+preprocessing re-validated.
+"""
+
+from conftest import write_result
+
+from repro.arch import SparseCoreModel
+from repro.eval.reporting import render
+from repro.gpm import run_app
+from repro.graph import load_graph
+from repro.graph.orders import apply_degeneracy_order, apply_degree_order
+
+APPS = ("T", "4C")
+GRAPHS = ("C", "B", "E")
+
+
+def run_ablation():
+    model = SparseCoreModel()
+    rows = []
+    for code in GRAPHS:
+        natural = load_graph(code, scale=0.5)
+        variants = {
+            "natural": natural,
+            "degree": apply_degree_order(natural),
+            "degeneracy": apply_degeneracy_order(natural),
+        }
+        for app in APPS:
+            counts = set()
+            cycles = {}
+            for name, graph in variants.items():
+                run = run_app(app, graph)
+                counts.add(run.count)
+                cycles[name] = model.cost(run.trace).total_cycles
+            assert len(counts) == 1, "relabeling changed a count!"
+            rows.append({
+                "app": app,
+                "graph": code,
+                "count": counts.pop(),
+                "natural_cycles": cycles["natural"],
+                "degree_cycles": cycles["degree"],
+                "degeneracy_cycles": cycles["degeneracy"],
+                "best_gain": cycles["natural"] / min(cycles.values()),
+            })
+    return rows
+
+
+def test_ablation_ordering(once):
+    rows = once(run_ablation)
+    write_result(
+        "ablation_ordering",
+        render(rows, "Ablation: vertex ordering (same ISA, software-only)"))
+    # Relabeling is count-invariant by construction (asserted inside
+    # run_ablation) and only redistributes work.  Measured finding on
+    # these configuration-model stand-ins: the natural (random) order
+    # is already competitive — orderings shift which edge lists are hot
+    # without changing totals much, so gains stay within ~±25%.  The
+    # ablation's value is the demonstration that the optimization slots
+    # in as pure software on identical stream instructions.
+    for row in rows:
+        assert row["best_gain"] >= 1.0
+        assert row["natural_cycles"] / row["degree_cycles"] > 0.5
+        assert row["natural_cycles"] / row["degeneracy_cycles"] > 0.5

@@ -1,0 +1,40 @@
+"""Figure 7: SparseCore vs FlexMiner and TrieJax (+ GRAMER, Sec 6.3.1).
+
+Paper: SparseCore outperforms FlexMiner by 2.7x avg (up to 14.8x),
+TrieJax by 3651x avg (up to 43912x), GRAMER by 40.1x avg (up to 181x).
+One compute unit per accelerator vs one SU.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import fig07_rows, fig07_summary
+from repro.eval.reporting import render
+
+
+def test_fig07_gpm_accelerators(once):
+    rows = once(fig07_rows)
+    summary = fig07_summary(rows)
+    text = render(rows, "Figure 7: speedup over FlexMiner/TrieJax/GRAMER")
+    text += "\n\nsummary: " + str(
+        {k: round(v, 1) for k, v in summary.items()})
+    write_result("fig07_gpm_accelerators", text, rows)
+
+    # Shape: SparseCore beats FlexMiner on average, TrieJax by orders
+    # of magnitude, GRAMER by tens.
+    assert summary["gmean_vs_flexminer"] > 1.0
+    assert summary["gmean_vs_triejax"] > 50.0
+    assert summary["gmean_vs_gramer"] > 10.0
+    # TrieJax supports only the edge-induced clique/triangle patterns.
+    for row in rows:
+        if row["app"] in ("TC", "TM", "TT"):
+            assert row["vs_triejax"] is None
+        else:
+            assert row["vs_triejax"] is not None
+    # TrieJax's deficit grows with the pattern's automorphism count.
+    by_app = {}
+    for row in rows:
+        if row["vs_triejax"]:
+            by_app.setdefault(row["app"], []).append(row["vs_triejax"])
+    gmean = lambda xs: float.__pow__(  # noqa: E731 - tiny local helper
+        float(__import__("math").prod(xs)), 1.0 / len(xs))
+    assert gmean(by_app["5C"]) > gmean(by_app["T"])

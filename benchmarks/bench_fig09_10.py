@@ -1,0 +1,53 @@
+"""Figures 9 and 10: CPU and SparseCore execution cycle breakdowns.
+
+Paper: branch misprediction dominates the CPU (tight data-dependent
+loops); SparseCore nearly eliminates it, and "Other computation" takes
+a higher share of the (much smaller) total.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import fig09_rows, fig10_rows
+from repro.eval.reporting import render
+
+
+def test_fig09_cpu_breakdown(once):
+    rows = once(fig09_rows)
+    write_result("fig09_cpu_breakdown",
+                 render(rows, "Figure 9: CPU execution breakdown"))
+    mispred = [row["Mispred."] for row in rows]
+    # Branch misprediction is a significant share of CPU cycles.
+    assert sum(mispred) / len(mispred) > 0.25
+    for row in rows:
+        total = (row["Cache"] + row["Mispred."]
+                 + row["Other computation"] + row["Intersection"])
+        assert abs(total - 1.0) < 5e-3  # rows are rounded to 4 decimals
+
+
+def test_fig10_sparsecore_breakdown(once):
+    rows = once(fig10_rows)
+    write_result("fig10_sparsecore_breakdown",
+                 render(rows, "Figure 10: SparseCore execution breakdown"))
+    mispred = [row["Mispred."] for row in rows]
+    assert sum(mispred) / len(mispred) < 0.05  # mispredictions eliminated
+    for row in rows:
+        total = (row["Cache"] + row["Mispred."]
+                 + row["Other computation"] + row["Intersection"])
+        assert abs(total - 1.0) < 5e-3  # rows are rounded to 4 decimals
+
+
+def test_breakdown_shift(once):
+    """SparseCore's 'Other computation' share grows relative to the CPU's
+    because the stream work shrinks (Section 6.4)."""
+    cpu_rows, sc_rows = once(lambda: (fig09_rows(), fig10_rows()))
+    cpu = {(r["app"], r["graph"]): r for r in cpu_rows}
+    shifted = 0
+    compared = 0
+    for row in sc_rows:
+        key = (row["app"], row["graph"])
+        if key in cpu:
+            compared += 1
+            if row["Other computation"] >= cpu[key]["Other computation"]:
+                shifted += 1
+    assert compared > 0
+    assert shifted / compared > 0.5

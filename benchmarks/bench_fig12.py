@@ -1,0 +1,36 @@
+"""Figure 12: varying the number of Stream Units.
+
+Paper: speedup grows up to ~4 SUs then flattens; nested-instruction
+apps (T/4C/5C) scale better than their non-nested variants (4CS/5CS)
+because S_NESTINTER exposes bursts of independent intersections.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import fig12_rows
+from repro.eval.reporting import gmean, render
+
+
+def test_fig12_su_sweep(once):
+    rows = once(fig12_rows)
+    write_result("fig12_su_sweep",
+                 render(rows, "Figure 12: speedup vs 1 SU"))
+
+    for row in rows:
+        # Monotone non-decreasing in SU count.
+        assert row["speedup_1su"] == 1.0
+        assert row["speedup_2su"] >= 1.0 - 1e-9
+        assert row["speedup_16su"] >= row["speedup_4su"] - 1e-9
+
+    def avg(app, n):
+        return gmean(r[f"speedup_{n}su"] for r in rows if r["app"] == app)
+
+    # Diminishing returns past 4 SUs (Section 6.7).
+    overall_4 = gmean(r["speedup_4su"] for r in rows)
+    overall_16 = gmean(r["speedup_16su"] for r in rows)
+    assert overall_4 > 1.05
+    assert overall_16 / overall_4 < overall_4 / 1.0
+
+    # Nested apps scale better than non-nested ones.
+    assert avg("4C", 16) > avg("4CS", 16)
+    assert avg("5C", 16) > avg("5CS", 16)

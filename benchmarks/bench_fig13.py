@@ -1,0 +1,35 @@
+"""Figure 13: varying aggregate S-Cache/scratchpad bandwidth.
+
+Paper: performance improves with bandwidth up to a point of
+diminishing returns; nested-instruction apps (T/4C/5C), with more
+simultaneously in-flight intersections, benefit more than the
+non-nested variants.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import fig13_rows
+from repro.eval.reporting import gmean, render
+
+
+def test_fig13_bandwidth_sweep(once):
+    rows = once(fig13_rows)
+    write_result("fig13_bandwidth_sweep",
+                 render(rows, "Figure 13: speedup vs 2 elements/cycle"))
+
+    for row in rows:
+        assert row["speedup_bw2"] == 1.0
+        assert row["speedup_bw64"] >= row["speedup_bw8"] - 1e-9
+
+    def avg(app, bw):
+        return gmean(r[f"speedup_bw{bw}"] for r in rows if r["app"] == app)
+
+    # Diminishing returns: the 32 -> 64 step adds less than 2 -> 4.
+    step_low = gmean(r["speedup_bw4"] for r in rows)
+    step_high = (gmean(r["speedup_bw64"] for r in rows)
+                 / gmean(r["speedup_bw32"] for r in rows))
+    assert step_high < step_low
+
+    # Nested apps gain more from bandwidth (Section 6.8).
+    assert avg("4C", 64) > avg("4CS", 64)
+    assert avg("5C", 64) > avg("5CS", 64)

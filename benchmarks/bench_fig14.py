@@ -1,0 +1,39 @@
+"""Figure 14: stream length distributions.
+
+Paper (left): on email-eu-core, clique applications involve shorter
+streams (their operands are intersection *results*).  (Right): graphs
+with larger max degree have longer longest streams; denser graphs have
+more long streams.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import fig14_left_rows, fig14_right_rows
+from repro.eval.reporting import render
+
+
+def test_fig14_left_apps_on_email(once):
+    rows = once(fig14_left_rows)
+    write_result(
+        "fig14_left_stream_lengths",
+        render(rows, "Figure 14 (left): stream length percentiles on E"))
+    by_app = {r["app"]: r for r in rows}
+    # Clique apps see shorter streams than triangle counting at the
+    # median (their operands are prior intersection results).
+    assert by_app["5C"]["p50"] <= by_app["T"]["p50"]
+    assert by_app["4C"]["p50"] <= by_app["T"]["p50"]
+
+
+def test_fig14_right_triangle_across_graphs(once):
+    rows = once(fig14_right_rows)
+    write_result(
+        "fig14_right_stream_lengths",
+        render(rows, "Figure 14 (right): triangle-counting stream "
+                     "lengths across graphs (cutoff 500)"))
+    by_graph = {r["graph"]: r for r in rows}
+    # Denser stand-ins (E, F) have longer streams at the upper
+    # percentiles than the sparse ones (C, G).
+    assert by_graph["F"]["p90"] > by_graph["C"]["p90"]
+    assert by_graph["E"]["p90"] > by_graph["G"]["p90"]
+    # Cutoff respected.
+    assert all(r["max"] <= 500 for r in rows)

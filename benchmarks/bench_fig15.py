@@ -1,0 +1,43 @@
+"""Figure 15: tensor computation speedup over the CPU baseline.
+
+Paper: averages 6.9x (inner), 1.88x (outer), 2.78x (Gustavson),
+4.49x (TTM), 2.44x (TTV); TSOPF stands out for inner/Gustavson because
+of its nonzeros-per-column; denser tensors gain more.
+"""
+
+from conftest import write_result
+
+from repro.eval.figures import (
+    fig15_matrix_rows,
+    fig15_summary,
+    fig15_tensor_rows,
+)
+from repro.eval.reporting import render
+
+
+def test_fig15_tensor_speedups(once):
+    matrix_rows, tensor_rows = once(
+        lambda: (fig15_matrix_rows(), fig15_tensor_rows()))
+    summary = fig15_summary(matrix_rows, tensor_rows)
+    text = render(matrix_rows, "Figure 15(a): spmspm speedup over CPU")
+    text += "\n\n" + render(tensor_rows,
+                            "Figure 15(b): TTV/TTM speedup over CPU")
+    text += "\n\nsummary: " + str(
+        {k: round(v, 2) for k, v in summary.items()})
+    write_result("fig15_tensor_speedups", text)
+
+    # Everything accelerates; inner-product gains the most on average.
+    assert all(r["speedup"] > 1.0 for r in matrix_rows)
+    assert summary["avg_inner"] > summary["avg_outer"]
+    assert summary["avg_inner"] > summary["avg_gustavson"]
+
+    # TSOPF is the inner-product standout (Section 6.9.1).
+    inner = {r["matrix"]: r["speedup"] for r in matrix_rows
+             if r["dataflow"] == "inner"}
+    assert inner["T"] == max(inner.values())
+
+    # TTV/TTM accelerate; the denser tensor (Ch) gains at least as much.
+    ttm = {r["tensor"]: r["speedup"] for r in tensor_rows
+           if r["kernel"] == "TTM"}
+    assert all(r["speedup"] > 1.0 for r in tensor_rows)
+    assert ttm["Ch"] >= ttm["U"] * 0.8

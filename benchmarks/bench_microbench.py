@@ -1,0 +1,79 @@
+"""Microbenchmarks of the core kernels (host-side performance).
+
+These time the Python implementation itself (not simulated cycles):
+the set-operation kernels, the merge-run analysis, and one compiled
+GPM kernel — useful for tracking regressions in the simulator's own
+speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpm import compile_pattern
+from repro.gpm import pattern as pat
+from repro.graph.generators import power_law_graph
+from repro.machine.context import Machine
+from repro.streams import ops
+from repro.streams.runstats import analyze_pair
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    a = np.unique(rng.integers(0, 40_000, 10_000)).astype(np.int64)
+    b = np.unique(rng.integers(0, 40_000, 10_000)).astype(np.int64)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def small_operands():
+    rng = np.random.default_rng(1)
+    a = np.unique(rng.integers(0, 200, 24)).astype(np.int64)
+    b = np.unique(rng.integers(0, 200, 24)).astype(np.int64)
+    return a, b
+
+
+def test_intersect_large(benchmark, operands):
+    a, b = operands
+    result = benchmark(ops.intersect, a, b)
+    assert result.size > 0
+
+
+def test_subtract_large(benchmark, operands):
+    a, b = operands
+    benchmark(ops.subtract, a, b)
+
+
+def test_merge_large(benchmark, operands):
+    a, b = operands
+    benchmark(ops.merge, a, b)
+
+
+def test_analyze_pair_large(benchmark, operands):
+    a, b = operands
+    stats = benchmark(analyze_pair, a, b)
+    assert stats.n_union > 0
+
+
+def test_analyze_pair_small(benchmark, small_operands):
+    a, b = small_operands
+    stats = benchmark(analyze_pair, a, b)
+    assert stats.n_union > 0
+
+
+def test_vinter_mac(benchmark, operands):
+    a, b = operands
+    av = np.random.default_rng(2).random(a.size)
+    bv = np.random.default_rng(3).random(b.size)
+    benchmark(ops.vinter, a, av, b, bv, "MAC")
+
+
+def test_triangle_kernel_end_to_end(benchmark):
+    graph = power_law_graph(400, 10.0, 60, seed=5)
+    compiled = compile_pattern(pat.triangle())
+
+    def run():
+        return compiled.count(graph, Machine())
+
+    count = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert count >= 0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper in one run: a guided tour of every claim.
+
+Walks the SparseCore story end to end on small stand-ins:
+the ISA (Table 1), the compiled GPM algorithm and its assembly
+(Figure 3), the machine comparison (Figures 8-10), the accelerator
+baselines (Figure 7), the SPU infeasibility argument (Section 2.3),
+the area fairness numbers (Section 5.2), the tensor dataflows
+(Figures 15/16), and the flexibility extensions (IEP, orderings).
+
+Run:  python examples/paper_walkthrough.py      (~1-2 minutes)
+"""
+
+from repro import (
+    CpuModel,
+    SparseCoreModel,
+    compile_expression,
+    compile_pattern,
+    load_graph,
+    load_matrix,
+    run_app,
+)
+from repro.accel import FlexMinerModel, GramerModel, TrieJaxModel
+from repro.accel.spu import SPU_CORE_COMPUTE_NODES, motif_dfg_size
+from repro.arch.area import AreaComparison, extension_overhead_vs_core
+from repro.gpm import pattern as pat
+from repro.gpm.iep import compile_with_iep
+from repro.gpm.symmetry import redundancy_factor
+from repro.isa.spec import INSTRUCTION_SET
+from repro.machine import Machine
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 64}\n{title}\n{'=' * 64}")
+
+
+def main() -> None:
+    section("1. The stream ISA (Table 1)")
+    print(f"{len(INSTRUCTION_SET)} instructions:",
+          ", ".join(str(op) for op in INSTRUCTION_SET))
+
+    section("2. Compiled GPM: triangle counting (Figure 3)")
+    compiled = compile_pattern(pat.triangle())
+    print(compiled.plan.describe())
+    print("\nemitted assembly:")
+    print(str(compiled.assembly()))
+
+    section("3. SparseCore vs CPU (Figures 8-10)")
+    graph = load_graph("email_eu_core", scale=0.6)
+    print(f"graph: {graph}")
+    run = run_app("T", graph)
+    cpu, sc = run.cpu_report(), run.sparsecore_report()
+    print(f"triangles: {run.count}; speedup {sc.speedup_over(cpu):.1f}x")
+    print(f"CPU breakdown:        {cpu.breakdown()}")
+    print(f"SparseCore breakdown: {sc.breakdown()}")
+
+    section("4. Accelerator baselines (Figure 7)")
+    fm = FlexMinerModel().cost(run.trace)
+    tj = TrieJaxModel(graph.num_vertices,
+                      redundancy_factor(pat.triangle())).cost(run.trace)
+    gr = GramerModel().cost(run.trace)
+    print(f"vs FlexMiner: {fm.total_cycles / sc.total_cycles:.1f}x")
+    print(f"vs TrieJax:   {tj.total_cycles / sc.total_cycles:.0f}x "
+          f"(no symmetry breaking: {redundancy_factor(pat.triangle())}x "
+          f"redundant work)")
+    print(f"vs GRAMER:    {gr.total_cycles / sc.total_cycles:.0f}x")
+
+    section("5. Why not a stream-dataflow fabric (Section 2.3)")
+    dfg = motif_dfg_size(4)
+    print(f"4-motif DFG: {dfg.computation_nodes} computation + "
+          f"{dfg.memory_nodes} memory nodes "
+          f"vs {SPU_CORE_COMPUTE_NODES} per SPU core -> "
+          f"{'fits' if dfg.fits_spu_core() else 'does not fit'}")
+
+    section("6. Silicon fairness (Section 5.2)")
+    for row in AreaComparison().rows():
+        print(f"  {row['design']:<34} {row['area_mm2']} mm^2")
+    print(f"whole extension vs a server core: "
+          f"{extension_overhead_vs_core():.1%}")
+
+    section("7. Tensor dataflows (Figures 15/16)")
+    mat = load_matrix("hydr1c")
+    for dataflow in ("inner", "outer", "gustavson"):
+        machine = Machine()
+        compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow).run(
+            mat, mat, machine)
+        s = SparseCoreModel().cost(machine.trace).speedup_over(
+            CpuModel().cost(machine.trace))
+        print(f"  {dataflow:<10} {s:5.2f}x over CPU")
+
+    section("8. Flexibility: software-only optimizations")
+    m_enum, m_iep = Machine(), Machine()
+    enum = compile_pattern(pat.star(3), vertex_induced=False,
+                           use_nested=False).count(graph, m_enum)
+    iep = compile_with_iep(pat.star(3)).count(graph, m_iep)
+    assert enum == iep
+    model = SparseCoreModel()
+    gain = model.cost(m_enum.trace).total_cycles \
+        / model.cost(m_iep.trace).total_cycles
+    print(f"IEP counting (GraphPi) on 3-star: {gain:.1f}x fewer cycles, "
+          f"same count ({iep}), zero hardware changes")
+
+
+if __name__ == "__main__":
+    main()

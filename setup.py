@@ -1,0 +1,8 @@
+"""Compatibility shim for tooling that predates PEP 621/660 installs.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

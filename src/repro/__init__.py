@@ -1,0 +1,80 @@
+"""SparseCore reproduction: stream ISA and processor specialization.
+
+This package reproduces *SparseCore: Stream ISA and Processor
+Specialization for Sparse Computation* (ASPLOS 2022) as a pure-Python
+library: the stream ISA and its functional executor, cycle-approximate
+models of the SparseCore microarchitecture and its baselines, the GPM
+and tensor software stacks, and the full evaluation harness.
+
+Quickstart::
+
+    from repro import load_graph, run_app
+
+    graph = load_graph("email_eu_core")
+    run = run_app("T", graph)          # triangle counting, S_NESTINTER
+    print(run.count, run.speedup())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and experiment index, and docs/ for the ISA, architecture,
+and compiler references.
+"""
+
+from repro.streams import Stream, ValueStream
+from repro.graph import CSRGraph, load_graph
+from repro.tensor import CSFTensor, SparseMatrix, load_matrix, load_tensor
+from repro.isa import Instruction, Opcode, Program, assemble, disassemble
+from repro.arch import (
+    CpuModel,
+    SimMemory,
+    SparseCoreConfig,
+    SparseCoreModel,
+    StreamExecutor,
+)
+from repro.machine import AppRun, Machine
+from repro.gpm import (
+    Pattern,
+    compile_pattern,
+    count_pattern,
+    run_app,
+    run_fsm,
+)
+from repro.tensorops import compile_expression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # streams
+    "Stream",
+    "ValueStream",
+    # substrates
+    "CSRGraph",
+    "CSFTensor",
+    "SparseMatrix",
+    "load_graph",
+    "load_matrix",
+    "load_tensor",
+    # ISA
+    "Instruction",
+    "Opcode",
+    "Program",
+    "assemble",
+    "disassemble",
+    # architecture
+    "CpuModel",
+    "SimMemory",
+    "SparseCoreConfig",
+    "SparseCoreModel",
+    "StreamExecutor",
+    # machine
+    "AppRun",
+    "Machine",
+    # GPM
+    "Pattern",
+    "compile_pattern",
+    "count_pattern",
+    "run_app",
+    "run_fsm",
+    # tensor
+    "compile_expression",
+    "__version__",
+]

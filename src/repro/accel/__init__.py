@@ -1,0 +1,29 @@
+"""Baseline accelerator models.
+
+The paper compares SparseCore against prior accelerators by modelling
+each one's operational behaviour on the same workloads (Section 6.1:
+"we implemented the cmap and simulated their access patterns").  These
+modules do the same: every model consumes the trace recorded by one
+kernel run and prices it under that architecture's execution rules.
+
+GPM baselines: FlexMiner (cmap-based pattern-aware engine), TrieJax
+(worst-case-optimal-join, no symmetry breaking), GRAMER
+(pattern-oblivious), and the GPU of Section 6.5.  Tensor baselines:
+OuterSPACE, ExTensor, and Gamma (Section 6.9.2).
+"""
+
+from repro.accel.flexminer import FlexMinerModel
+from repro.accel.triejax import TrieJaxModel
+from repro.accel.gramer import GramerModel
+from repro.accel.gpu import GpuModel
+from repro.accel.tensor_accels import ExTensorModel, GammaModel, OuterSpaceModel
+
+__all__ = [
+    "FlexMinerModel",
+    "TrieJaxModel",
+    "GramerModel",
+    "GpuModel",
+    "ExTensorModel",
+    "GammaModel",
+    "OuterSpaceModel",
+]

@@ -1,0 +1,90 @@
+"""SPU / DGRA feasibility analysis (Section 2.3).
+
+The paper argues that stream-dataflow architectures (SPU) cannot run
+GPM: mapping the algorithms onto the systolic decomposable-granularity
+reconfigurable array requires expressing the whole kernel as a dataflow
+graph (DFG), and "four-motif needs up to 112 nodes in the DFG (48
+computation nodes and 64 memory nodes), however, each SPU core can only
+support 20 computation nodes".
+
+This module reproduces that analysis quantitatively: it converts a
+compiled matching plan into DFG node counts (computation nodes for the
+set operations and reductions; memory nodes for edge-list/stream
+loads and stores) and checks them against the SPU core capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpm.pattern import Pattern
+from repro.gpm.plan import MatchingPlan, build_plan
+
+#: Computation nodes one SPU core supports (Section 2.3).
+SPU_CORE_COMPUTE_NODES = 20
+
+
+@dataclass(frozen=True)
+class DfgSize:
+    """DFG footprint of one kernel on a stream-dataflow fabric."""
+
+    computation_nodes: int
+    memory_nodes: int
+
+    @property
+    def total_nodes(self) -> int:
+        return self.computation_nodes + self.memory_nodes
+
+    def fits_spu_core(self, capacity: int = SPU_CORE_COMPUTE_NODES) -> bool:
+        return self.computation_nodes <= capacity
+
+
+def plan_dfg_size(plan: MatchingPlan) -> DfgSize:
+    """DFG node counts for one plan's fully unrolled loop body.
+
+    A dataflow mapping has no program counter: every level's operations
+    must exist as concurrent graph nodes.  Per level we count
+
+    * one memory node per distinct edge-list stream read plus one per
+      produced stream (stream-join input/output ports),
+    * one computation node per set operation (each stream-join), plus a
+      select/compare node per upper bound and a reduction node at the
+      counting level.
+    """
+    compute = 0
+    memory = 0
+    for level in plan.levels[1:]:
+        ops = max(0, len(level.connected) - 1) + len(level.disconnected) \
+            + (1 if level.subtract_positions else 0)
+        if level.position == plan.depth - 1:
+            ops = max(ops, 1)  # the counting op exists even for pure lists
+        compute += ops                      # stream-join units
+        compute += len(level.upper_bounds)  # bound compare/select
+        memory += len(level.connected) + len(level.disconnected)
+        memory += max(0, ops - 1)           # intermediate stream buffers
+    compute += 1  # final accumulate/reduce
+    memory += 1   # result
+    return DfgSize(computation_nodes=compute, memory_nodes=memory)
+
+
+def pattern_dfg_size(pattern: Pattern, *, vertex_induced: bool = True) -> DfgSize:
+    """DFG size of one pattern's enumeration kernel."""
+    plan = build_plan(pattern, vertex_induced=vertex_induced,
+                      use_nested=False)
+    return plan_dfg_size(plan)
+
+
+def motif_dfg_size(size: int) -> DfgSize:
+    """DFG size of k-motif mining: all connected k-vertex patterns must
+    be resident simultaneously (the application interleaves them, and
+    per-pattern reconfiguration is the prohibitively expensive
+    alternative the paper describes)."""
+    from repro.gpm.pattern import motif_patterns
+
+    compute = 0
+    memory = 0
+    for pattern in motif_patterns(size):
+        part = pattern_dfg_size(pattern)
+        compute += part.computation_nodes
+        memory += part.memory_nodes
+    return DfgSize(compute, memory)

@@ -1,0 +1,129 @@
+"""Architecture configuration: Table 2 plus all cost-model constants.
+
+Every number a cost model uses lives here, so experiments can sweep a
+parameter (Figures 12 and 13) or document a substitution by pointing at
+one field.  Defaults reproduce the paper's configuration (Table 2) and
+standard latencies for the Skylake-class baseline the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """The conventional memory hierarchy both machines share (Table 2)."""
+
+    line_bytes: int = 64
+    l1d_bytes: int = 32 * 1024       # 32KB, 8-way
+    l2_bytes: int = 256 * 1024       # 256KB, 8-way
+    l3_bytes: int = 12 * 1024 * 1024  # 12MB, 16-way
+    # Load-to-use latencies (cycles) per level.
+    l1_latency: int = 4
+    l2_latency: int = 14
+    l3_latency: int = 42
+    dram_latency: int = 200
+    # Effective per-line cost when accesses are pipelined/overlapped
+    # (sequential stream fetches expose bandwidth, not latency).
+    l2_line_cost: int = 4
+    l3_line_cost: int = 8
+    dram_line_cost: int = 30
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Baseline out-of-order CPU cost model (one core of Table 2)."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    rob_size: int = 128
+    load_queue_size: int = 32
+    #: Effective cycles per two-pointer merge step: the loop's critical
+    #: path is a load-to-use (4-cycle L1) feeding a compare and branch;
+    #: the out-of-order window overlaps part of it ("data dependencies
+    #: in a tight loop ... difficult to ... exploit instruction level
+    #: parallelism", Section 2.2).
+    cycles_per_step: float = 3.5
+    #: Branch misprediction flush penalty (front-end refill).
+    mispredict_penalty: int = 14
+    #: Fraction of merge-path direction changes the predictor misses.
+    #: Intersection branch outcomes are essentially data-dependent
+    #: (Section 2.2: "difficult to predict the branches").
+    mispredict_rate: float = 0.7
+    #: Effective cycles per scalar non-stream instruction (4-wide OoO,
+    #: loop/bookkeeping code with moderate ILP).
+    scalar_cpi: float = 0.4
+    #: Cycles per floating-point multiply-accumulate pair on values.
+    flop_cycles_per_pair: float = 1.0
+
+
+@dataclass(frozen=True)
+class SparseCoreConfig:
+    """SparseCore configuration: Table 2 plus component parameters."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    num_cores: int = 6
+    rob_size: int = 128
+    load_queue_size: int = 32
+    # -- stream components (Sections 4.2/4.3) --
+    num_stream_regs: int = 16
+    num_sus: int = 4
+    su_buffer_width: int = 16
+    scache_slot_keys: int = 64       # 256B slot / 4B key
+    scache_slot_bytes: int = 256
+    scratchpad_bytes: int = 16 * 1024
+    #: Aggregate S-Cache + scratchpad bandwidth in elements/cycle
+    #: ("Stream cache can send two cache line of data to two SUs at
+    #: each cycle" -> 2 x 16-key lines with 4 SUs).
+    scache_bandwidth: int = 32
+    #: Per-instruction issue overhead for a stream op (decode + SMT
+    #: lookup; the SMT itself adds no pipeline latency, Section 4.1).
+    op_issue_cycles: float = 2.0
+    #: Micro-op expansion overhead per nested-intersection element
+    #: (translator generates S_READ + S_INTER.C + S_FREE + add).
+    nested_translate_cycles: float = 1.0
+    #: How many independent singleton stream ops the OoO core keeps in
+    #: flight concurrently without the nested instruction (ROB-limited;
+    #: nested instructions occupy one entry and expose whole bursts).
+    implicit_overlap: int = 2
+    #: Effective cycles per scalar instruction on the host core.
+    scalar_cpi: float = 0.4
+    #: SVPU throughput: cycles per value pair (MAC).
+    flop_cycles_per_pair: float = 1.0
+    # -- published physical characteristics (Section 5.2; inputs to the
+    #    fair-comparison argument, not modelled quantities) --
+    synthesized_frequency_ghz: float = 4.35
+    area_mm2: float = 0.73
+    area_per_su_mm2: float = 0.183
+
+    def with_sus(self, n: int) -> "SparseCoreConfig":
+        """Copy with a different SU count (Figure 12 sweep)."""
+        return replace(self, num_sus=n)
+
+    def with_bandwidth(self, elems_per_cycle: int) -> "SparseCoreConfig":
+        """Copy with a different aggregate bandwidth (Figure 13 sweep)."""
+        return replace(self, scache_bandwidth=elems_per_cycle)
+
+
+#: Table 2 of the paper as a name -> value mapping, for the bench that
+#: regenerates it.
+TABLE2 = {
+    "Number of cores": 6,
+    "ROB size": 128,
+    "loadQueue size": 32,
+    "cache line size": "64B",
+    "l1d cache size": "32KB,8-way",
+    "L2": "256KB,8-way",
+    "L3": "12MB,16-way",
+    "S-Cache slot size": "256B",
+    "scratchpad size": "16KB",
+}
+
+
+def default_sparsecore() -> SparseCoreConfig:
+    return SparseCoreConfig()
+
+
+def default_cpu() -> CpuConfig:
+    return CpuConfig()

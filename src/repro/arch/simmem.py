@@ -1,0 +1,81 @@
+"""Simulated flat address space backed by numpy arrays.
+
+``S_READ``/``S_VREAD`` take *start addresses*; the GFRs hold the
+addresses of the CSR arrays.  :class:`SimMemory` provides those
+addresses: host data structures register their arrays and get back a
+base address; the executor resolves any (address, length) pair to a
+zero-copy array view.  Addresses are byte-granular and allocation is
+bump-pointer with line alignment, so address arithmetic (e.g.
+``edge_array + 4 * indptr[v]``) behaves like real pointers.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import ArchFault
+
+
+class SimMemory:
+    """Bump-pointer simulated memory of registered numpy arrays."""
+
+    def __init__(self, *, alignment: int = 64, base: int = 0x1000):
+        self._alignment = alignment
+        self._next = base
+        self._bases: list[int] = []       # sorted base addresses
+        self._arrays: list[np.ndarray] = []
+        self._names: list[str] = []
+
+    def register(self, array: np.ndarray, name: str = "array") -> int:
+        """Map ``array`` into the address space; returns its base address."""
+        array = np.ascontiguousarray(array)
+        base = self._next
+        self._bases.append(base)
+        self._arrays.append(array)
+        self._names.append(name)
+        size = max(array.nbytes, 1)
+        self._next = base + ((size + self._alignment - 1)
+                             // self._alignment) * self._alignment
+        return base
+
+    def _locate(self, addr: int) -> tuple[int, np.ndarray, int]:
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx < 0:
+            raise ArchFault(f"access to unmapped address {addr:#x}")
+        array = self._arrays[idx]
+        offset_bytes = addr - self._bases[idx]
+        if offset_bytes >= max(array.nbytes, 1):
+            raise ArchFault(f"access to unmapped address {addr:#x}")
+        return idx, array, offset_bytes
+
+    def view(self, addr: int, length: int) -> np.ndarray:
+        """Resolve (address, element count) to an array view."""
+        idx, array, offset_bytes = self._locate(addr)
+        itemsize = array.itemsize
+        if offset_bytes % itemsize:
+            raise ArchFault(
+                f"misaligned access at {addr:#x} into {self._names[idx]!r}"
+            )
+        start = offset_bytes // itemsize
+        if start + length > array.size:
+            raise ArchFault(
+                f"access past end of {self._names[idx]!r}: "
+                f"[{start}:{start + length}) of {array.size}"
+            )
+        return array[start : start + length]
+
+    def array_id(self, addr: int) -> int:
+        """Stable identifier of the backing array (cache-model granule key)."""
+        idx, _, _ = self._locate(addr)
+        return idx
+
+    def name_of(self, addr: int) -> str:
+        idx, _, _ = self._locate(addr)
+        return self._names[idx]
+
+    def element_address(self, base: int, index: int) -> int:
+        """Address of ``array[index]`` for an array registered at ``base``."""
+        idx, array, _ = self._locate(base)
+        return base + index * array.itemsize

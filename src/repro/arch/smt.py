@@ -1,0 +1,140 @@
+"""Stream Mapping Table (Section 4.1).
+
+The SMT maps architectural stream IDs to internal stream registers and
+tracks per-stream state:
+
+* ``vd`` — the *define* bit: set when ``S_READ``/``S_VREAD`` (or a
+  compute op's output) defines the ID, cleared when ``S_FREE`` decodes;
+  instructions after a decoded ``S_FREE`` may no longer reference the ID.
+* ``va`` — the *active* bit: set at define, cleared when the ``S_FREE``
+  retires; the stream register stays occupied until then.
+* ``start``/``produced`` — whether the S-Cache holds the stream's first
+  slot and whether the whole stream's data has been produced.
+* ``pred0``/``pred1`` — stream IDs this stream depends on (output
+  streams of ``S_INTER``/``S_SUB`` record their inputs, Section 4.4).
+
+The same ID may appear in different loop iterations and maps to
+different entries ("the processor ... will recognize the same stream
+IDs in different iterations as different streams"): :meth:`define`
+overwrites a live mapping, and lookups resolve to the entry with
+``vd=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StreamRegisterPressureFault, UnknownStreamFault
+
+
+@dataclass
+class SmtEntry:
+    """One SMT row."""
+
+    sreg: int
+    sid: int = -1
+    vd: bool = False
+    va: bool = False
+    start: bool = False
+    produced: bool = False
+    pred0: int = -1
+    pred1: int = -1
+
+    def reset(self) -> None:
+        self.sid = -1
+        self.vd = False
+        self.va = False
+        self.start = False
+        self.produced = False
+        self.pred0 = -1
+        self.pred1 = -1
+
+
+class StreamMappingTable:
+    """The SMT: one entry per stream register."""
+
+    def __init__(self, num_entries: int = 16):
+        self.entries = [SmtEntry(sreg=i) for i in range(num_entries)]
+        #: count of define stalls that would occur in hardware when all
+        #: stream registers are active (Section 4.1).
+        self.pressure_events = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, sid: int) -> SmtEntry:
+        """Resolve a *defined* stream ID (the entry with ``vd`` set)."""
+        for entry in self.entries:
+            if entry.vd and entry.sid == sid:
+                return entry
+        raise UnknownStreamFault(f"stream ID {sid} is not defined in the SMT")
+
+    def is_defined(self, sid: int) -> bool:
+        return any(e.vd and e.sid == sid for e in self.entries)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def define(self, sid: int, *, pred0: int = -1, pred1: int = -1) -> SmtEntry:
+        """Map ``sid`` to a stream register (``S_READ``/``S_VREAD`` or a
+        compute op's output).  Overwrites a live mapping of the same ID;
+        otherwise claims an inactive entry.  Raises
+        :class:`StreamRegisterPressureFault` when every entry is active
+        (hardware would stall the defining instruction)."""
+        for entry in self.entries:
+            if entry.vd and entry.sid == sid:
+                entry.start = False
+                entry.produced = False
+                entry.pred0 = pred0
+                entry.pred1 = pred1
+                return entry
+        for entry in self.entries:
+            if not entry.va:
+                entry.sid = sid
+                entry.vd = True
+                entry.va = True
+                entry.start = False
+                entry.produced = False
+                entry.pred0 = pred0
+                entry.pred1 = pred1
+                return entry
+        self.pressure_events += 1
+        raise StreamRegisterPressureFault(
+            f"all {len(self.entries)} stream registers are active; "
+            f"cannot define stream {sid}"
+        )
+
+    def free_decode(self, sid: int) -> SmtEntry:
+        """Decode-time ``S_FREE``: clear ``vd`` (ID no longer referencable).
+
+        Raises :class:`UnknownStreamFault` when no entry is found — the
+        architectural exception of Section 3.3."""
+        entry = self.lookup(sid)
+        entry.vd = False
+        return entry
+
+    def free_retire(self, entry: SmtEntry) -> None:
+        """Retire-time ``S_FREE``: clear ``va``; the entry becomes free."""
+        entry.reset()
+
+    def free(self, sid: int) -> int:
+        """Decode + immediate retire (the functional executor's path).
+
+        Returns the released stream register index."""
+        entry = self.free_decode(sid)
+        sreg = entry.sreg
+        self.free_retire(entry)
+        return sreg
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def num_active(self) -> int:
+        return sum(1 for e in self.entries if e.va)
+
+    @property
+    def num_defined(self) -> int:
+        return sum(1 for e in self.entries if e.vd)
+
+    def reset(self) -> None:
+        for entry in self.entries:
+            entry.reset()
+        self.pressure_events = 0

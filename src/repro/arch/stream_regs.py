@@ -1,0 +1,107 @@
+"""Stream registers and graph format registers (Section 3.2).
+
+A stream register holds the stream ID, length, start key address, start
+value address, priority, and a valid bit.  Stream registers "cannot be
+accessed by any instruction" — only the processor (here: the executor)
+reads them when a stream ID is referenced.  The three GFRs hold the CSR
+index, CSR edge list, and CSR offset addresses for nested intersection
+and symmetry breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GfrNotLoadedFault
+
+
+@dataclass
+class StreamRegister:
+    """Architectural stream register state."""
+
+    index: int
+    valid: bool = False
+    stream_id: int = -1
+    length: int = 0
+    key_addr: int = 0
+    value_addr: int = -1  # -1: key-only stream
+    priority: int = 0
+
+    @property
+    def has_values(self) -> bool:
+        return self.value_addr >= 0
+
+    def clear(self) -> None:
+        self.valid = False
+        self.stream_id = -1
+        self.length = 0
+        self.key_addr = 0
+        self.value_addr = -1
+        self.priority = 0
+
+
+class StreamRegisterFile:
+    """The N stream registers (default 16, Section 3.2)."""
+
+    def __init__(self, num_regs: int = 16):
+        self.regs = [StreamRegister(index=i) for i in range(num_regs)]
+
+    def __getitem__(self, index: int) -> StreamRegister:
+        return self.regs[index]
+
+    def __len__(self) -> int:
+        return len(self.regs)
+
+    def setup(self, index: int, stream_id: int, length: int, key_addr: int,
+              value_addr: int = -1, priority: int = 0) -> StreamRegister:
+        reg = self.regs[index]
+        reg.valid = True
+        reg.stream_id = stream_id
+        reg.length = length
+        reg.key_addr = key_addr
+        reg.value_addr = value_addr
+        reg.priority = priority
+        return reg
+
+    def release(self, index: int) -> None:
+        self.regs[index].clear()
+
+    def reset(self) -> None:
+        for reg in self.regs:
+            reg.clear()
+
+
+class GraphFormatRegisters:
+    """GFR0/GFR1/GFR2: CSR index, CSR edge list, CSR offset addresses."""
+
+    def __init__(self):
+        self._values: tuple[int, int, int] | None = None
+
+    def load(self, gfr0: int, gfr1: int, gfr2: int) -> None:
+        self._values = (int(gfr0), int(gfr1), int(gfr2))
+
+    @property
+    def loaded(self) -> bool:
+        return self._values is not None
+
+    @property
+    def csr_index(self) -> int:
+        return self._require()[0]
+
+    @property
+    def csr_edges(self) -> int:
+        return self._require()[1]
+
+    @property
+    def csr_offsets(self) -> int:
+        return self._require()[2]
+
+    def _require(self) -> tuple[int, int, int]:
+        if self._values is None:
+            raise GfrNotLoadedFault(
+                "S_NESTINTER executed before S_LD_GFR loaded the graph format"
+            )
+        return self._values
+
+    def reset(self) -> None:
+        self._values = None

@@ -1,0 +1,125 @@
+"""Cycle-stepping Stream Unit simulator (Figure 6 of the paper).
+
+The analytic cost model prices SU work from merge-run statistics
+(:mod:`repro.streams.runstats`).  This module implements the same
+hardware behaviour *step by step* — two head pointers, a 16-key
+parallel-comparison window per stream per cycle, one-match-per-cycle
+emission for intersection, window-rate emission for subtraction and
+merge — so tests can validate the closed-form model against an
+operational reference, and users can trace an operation cycle by
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.streams.runstats import SU_BUFFER_WIDTH, truncate_bound
+
+
+@dataclass
+class SuStep:
+    """One simulated cycle of the parallel-comparison engine."""
+
+    cycle: int
+    a_pos: int
+    b_pos: int
+    advanced_a: int
+    advanced_b: int
+    emitted: list[int] = field(default_factory=list)
+
+
+@dataclass
+class SuRun:
+    """The full cycle-by-cycle record of one stream operation."""
+
+    kind: str
+    cycles: int
+    output: np.ndarray
+    steps: list[SuStep]
+
+
+class StreamUnit:
+    """Operational model of one SU's parallel comparison."""
+
+    def __init__(self, width: int = SU_BUFFER_WIDTH):
+        self.width = width
+
+    def run(self, a: np.ndarray, b: np.ndarray, kind: str = "intersect",
+            bound: int = -1, *, record_steps: bool = False) -> SuRun:
+        """Execute one operation cycle by cycle.
+
+        Per cycle, each stream's head is compared against up to
+        ``width`` keys of the other stream: keys known to be smaller
+        than the other stream's head are consumed (up to the window);
+        equal heads are a match.  Intersection emits at most one key
+        per cycle; subtraction/merge emit every consumed key.
+        """
+        if kind not in ("intersect", "subtract", "merge"):
+            raise ValueError(f"unknown op kind {kind!r}")
+        xs = truncate_bound(np.asarray(a), bound).tolist()
+        ys = truncate_bound(np.asarray(b), bound).tolist()
+        na, nb = len(xs), len(ys)
+        i = j = 0
+        cycles = 0
+        out: list[int] = []
+        steps: list[SuStep] = []
+        while i < na and j < nb:
+            cycles += 1
+            emitted: list[int] = []
+            if xs[i] == ys[j]:
+                # Match: intersection emits at most one key per cycle;
+                # subtraction/merge consume a whole window of pairwise
+                # matches ("the parallel comparison may generate
+                # multiple elements at one cycle", Section 4.2).
+                if kind == "intersect":
+                    run_len = 1
+                    emitted.append(xs[i])
+                else:
+                    run_len = 0
+                    while (run_len < self.width and i + run_len < na
+                           and j + run_len < nb
+                           and xs[i + run_len] == ys[j + run_len]):
+                        run_len += 1
+                    if kind == "merge":
+                        emitted.extend(xs[i:i + run_len])
+                adv_a = adv_b = run_len
+                i += run_len
+                j += run_len
+            else:
+                # Consume every key provably below the other head, up
+                # to one comparison window on each side.
+                adv_a = 0
+                while (adv_a < self.width and i + adv_a < na
+                       and xs[i + adv_a] < ys[j]):
+                    adv_a += 1
+                adv_b = 0
+                while (adv_b < self.width and j + adv_b < nb
+                       and ys[j + adv_b] < xs[i]):
+                    adv_b += 1
+                if kind in ("subtract",):
+                    emitted.extend(xs[i:i + adv_a])
+                elif kind == "merge":
+                    merged = sorted(xs[i:i + adv_a] + ys[j:j + adv_b])
+                    emitted.extend(merged)
+                i += adv_a
+                j += adv_b
+            out.extend(emitted)
+            if record_steps:
+                steps.append(SuStep(cycles, i, j, adv_a, adv_b, emitted))
+        # Tail: remaining keys of the unexhausted stream.
+        for tail, source in ((xs[i:], "a"), (ys[j:], "b")):
+            if not tail:
+                continue
+            if kind == "merge" or (kind == "subtract" and source == "a"):
+                out.extend(tail)
+            if kind == "intersect" and source in ("a", "b"):
+                # Intersection needs no further cycles: with one stream
+                # exhausted no more matches exist.
+                continue
+            if kind != "intersect":
+                cycles += -(-len(tail) // self.width)
+        return SuRun(kind=kind, cycles=cycles,
+                     output=np.asarray(out, dtype=np.int64), steps=steps)

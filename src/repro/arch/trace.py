@@ -1,0 +1,241 @@
+"""Compact operation traces shared by all machine models.
+
+An application kernel runs **once** against a recording context
+(:mod:`repro.machine`) and produces a :class:`Trace`: one record per
+stream operation plus aggregate scalar-work counters.  Every machine
+model (CPU, SparseCore at any SU count / bandwidth, and the accelerator
+baselines) then costs the same trace — the methodology the paper itself
+uses for its baselines (Section 6.1).
+
+Records are stored as parallel scalar lists (frozen to numpy arrays)
+rather than object-per-op: a single GPM run can produce millions of
+operations, and the Figure 12/13 sweeps re-cost each trace dozens of
+times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.streams.runstats import OpStats
+
+
+class OpKind(enum.IntEnum):
+    """Stream computation categories (Table 1 compute instructions)."""
+
+    INTERSECT = 0
+    SUBTRACT = 1
+    MERGE = 2
+    VINTER = 3
+    VMERGE = 4
+
+
+#: Trace burst id marking "not part of any burst" (a singleton op).
+NO_BURST = -1
+
+
+def su_cycles_for(kind: OpKind, stats: OpStats) -> int:
+    """SU cycles of ``stats`` under ``kind``'s emission constraints."""
+    if kind in (OpKind.INTERSECT, OpKind.VINTER):
+        return stats.su_cycles_intersect
+    return stats.su_cycles_submerge
+
+
+class Trace:
+    """Recorded operations of one application run.
+
+    Use :meth:`add_op` per stream operation and :meth:`add_scalar` /
+    :meth:`add_cpu_scalar` / :meth:`add_sc_scalar` for surrounding
+    scalar work, then :meth:`freeze` before handing to cost models.
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self._kind: list[int] = []
+        self._su_cycles: list[int] = []
+        self._cpu_steps: list[int] = []
+        self._dir_changes: list[int] = []
+        self._eff_elems: list[int] = []
+        self._out_len: list[int] = []
+        self._flop_pairs: list[int] = []
+        self._burst: list[int] = []
+        self._nested: list[bool] = []
+        self._cpu_mem: list[float] = []
+        self._sc_mem: list[float] = []
+        #: scalar instructions charged identically on both machines
+        self.shared_scalar_instrs = 0
+        #: scalar loop-management work only the CPU executes
+        self.cpu_only_scalar_instrs = 0
+        #: scalar work only SparseCore's host core executes
+        self.sc_only_scalar_instrs = 0
+        self._next_burst = 0
+        self._frozen: FrozenTrace | None = None
+
+    # -- recording ---------------------------------------------------------
+
+    def new_burst(self) -> int:
+        """Allocate a burst id (ops sharing it are independent work)."""
+        self._next_burst += 1
+        return self._next_burst
+
+    def add_op(
+        self,
+        kind: OpKind,
+        stats: OpStats,
+        *,
+        burst: int = NO_BURST,
+        nested: bool = False,
+        cpu_mem: float = 0.0,
+        sc_mem: float = 0.0,
+        flop_pairs: int = 0,
+    ) -> None:
+        self._frozen = None
+        self._kind.append(int(kind))
+        self._su_cycles.append(su_cycles_for(kind, stats))
+        self._cpu_steps.append(stats.cpu_steps)
+        self._dir_changes.append(stats.direction_changes)
+        self._eff_elems.append(stats.eff_a + stats.eff_b)
+        self._out_len.append(stats.out_len(
+            "intersect" if kind in (OpKind.INTERSECT, OpKind.VINTER)
+            else "subtract" if kind is OpKind.SUBTRACT
+            else "merge"
+        ))
+        self._flop_pairs.append(flop_pairs)
+        self._burst.append(burst)
+        self._nested.append(nested)
+        self._cpu_mem.append(cpu_mem)
+        self._sc_mem.append(sc_mem)
+
+    def add_scalar(self, n: int) -> None:
+        """Scalar instructions both machines execute (app logic)."""
+        self.shared_scalar_instrs += n
+
+    def add_cpu_scalar(self, n: int) -> None:
+        """Scalar loop instructions only the scalar CPU needs."""
+        self.cpu_only_scalar_instrs += n
+
+    def add_sc_scalar(self, n: int) -> None:
+        """Scalar instructions only SparseCore's host core needs."""
+        self.sc_only_scalar_instrs += n
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._kind)
+
+    def freeze(self) -> "FrozenTrace":
+        """Snapshot into numpy arrays for the cost models (cached)."""
+        if self._frozen is None:
+            self._frozen = FrozenTrace(
+                name=self.name,
+                kind=np.asarray(self._kind, dtype=np.int8),
+                su_cycles=np.asarray(self._su_cycles, dtype=np.int64),
+                cpu_steps=np.asarray(self._cpu_steps, dtype=np.int64),
+                dir_changes=np.asarray(self._dir_changes, dtype=np.int64),
+                eff_elems=np.asarray(self._eff_elems, dtype=np.int64),
+                out_len=np.asarray(self._out_len, dtype=np.int64),
+                flop_pairs=np.asarray(self._flop_pairs, dtype=np.int64),
+                burst=np.asarray(self._burst, dtype=np.int64),
+                nested=np.asarray(self._nested, dtype=bool),
+                cpu_mem=np.asarray(self._cpu_mem, dtype=np.float64),
+                sc_mem=np.asarray(self._sc_mem, dtype=np.float64),
+                shared_scalar_instrs=self.shared_scalar_instrs,
+                cpu_only_scalar_instrs=self.cpu_only_scalar_instrs,
+                sc_only_scalar_instrs=self.sc_only_scalar_instrs,
+            )
+        return self._frozen
+
+    def stream_lengths(self) -> np.ndarray:
+        """Effective operand element counts per op (Figure 14 data)."""
+        return self.freeze().eff_elems
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, ops={self.num_ops})"
+
+
+_ARRAY_FIELDS = ("kind", "su_cycles", "cpu_steps", "dir_changes",
+                 "eff_elems", "out_len", "flop_pairs", "burst", "nested",
+                 "cpu_mem", "sc_mem")
+_SCALAR_FIELDS = ("shared_scalar_instrs", "cpu_only_scalar_instrs",
+                  "sc_only_scalar_instrs")
+
+
+@dataclass(frozen=True)
+class FrozenTrace:
+    """Immutable numpy view of a trace, consumed by cost models."""
+
+    name: str
+    kind: np.ndarray
+    su_cycles: np.ndarray
+    cpu_steps: np.ndarray
+    dir_changes: np.ndarray
+    eff_elems: np.ndarray
+    out_len: np.ndarray
+    flop_pairs: np.ndarray
+    burst: np.ndarray
+    nested: np.ndarray
+    cpu_mem: np.ndarray
+    sc_mem: np.ndarray
+    shared_scalar_instrs: int
+    cpu_only_scalar_instrs: int
+    sc_only_scalar_instrs: int
+
+    @property
+    def num_ops(self) -> int:
+        return int(self.kind.size)
+
+    def save(self, path) -> None:
+        """Persist to ``.npz`` for offline analysis or re-pricing."""
+        arrays = {field: getattr(self, field) for field in _ARRAY_FIELDS}
+        arrays["scalars"] = np.array(
+            [getattr(self, field) for field in _SCALAR_FIELDS],
+            dtype=np.int64)
+        np.savez_compressed(path, name=np.array(self.name), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "FrozenTrace":
+        """Load a trace saved with :meth:`save`."""
+        with np.load(path) as data:
+            scalars = data["scalars"]
+            return cls(
+                name=str(data["name"]),
+                **{field: data[field] for field in _ARRAY_FIELDS},
+                **{field: int(scalars[i])
+                   for i, field in enumerate(_SCALAR_FIELDS)},
+            )
+
+
+@dataclass
+class CycleReport:
+    """Cycle totals of one machine on one trace, with the Figure 9/10
+    breakdown categories (Cache, Mispred., Other computation,
+    Intersection)."""
+
+    machine: str
+    cache_cycles: float = 0.0
+    branch_cycles: float = 0.0
+    intersection_cycles: float = 0.0
+    other_cycles: float = 0.0
+    total_cycles: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def breakdown(self) -> dict[str, float]:
+        """Normalized stacked-bar fractions (the paper's Figures 9/10)."""
+        parts = {
+            "Cache": self.cache_cycles,
+            "Mispred.": self.branch_cycles,
+            "Other computation": self.other_cycles,
+            "Intersection": self.intersection_cycles,
+        }
+        total = sum(parts.values()) or 1.0
+        return {k: v / total for k, v in parts.items()}
+
+    def speedup_over(self, other: "CycleReport") -> float:
+        """How much faster *this* machine is than ``other``."""
+        if self.total_cycles <= 0:
+            return float("inf")
+        return other.total_cycles / self.total_cycles

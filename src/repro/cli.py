@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``datasets``
+    List the graph/matrix/tensor stand-in registries with their stats.
+``run <app> --graph <name>``
+    Run a GPM application and print counts, cycles, speedup, breakdowns.
+``pattern <name> --graph <name>``
+    Compile an arbitrary library pattern; print the plan, the emitted
+    stream assembly, and the run results.
+``table <1|2|3|4|5>`` / ``figure <7|8|9|10|11|12|13|14|15|16>``
+    Regenerate one table/figure of the paper and print it.
+``spmspm --matrix <name> --dataflow <inner|outer|gustavson>``
+    Run one spmspm dataflow and print its machine comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.eval.reporting import render
+    from repro.graph.datasets import table4_rows
+    from repro.tensor.datasets import table5_rows
+
+    print(render(table4_rows(), "Graph stand-ins (Table 4)"))
+    print()
+    print(render(table5_rows(), "Matrix/tensor stand-ins (Table 5)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.gpm import run_app
+    from repro.graph.datasets import load_graph
+
+    num_labels = 4 if args.app == "FSM" else 0
+    graph = load_graph(args.graph, args.scale, num_labels=num_labels)
+    print(f"graph: {graph}")
+    run = run_app(args.app, graph)
+    cpu = run.cpu_report()
+    sc = run.sparsecore_report()
+    print(f"result: {run.count}")
+    print(f"stream ops: {run.trace.num_ops}")
+    print(f"cpu cycles:        {cpu.total_cycles:.4g}")
+    print(f"sparsecore cycles: {sc.total_cycles:.4g}")
+    print(f"speedup: {sc.speedup_over(cpu):.2f}x")
+    print("cpu breakdown:       ", {k: round(v, 3)
+                                    for k, v in cpu.breakdown().items()})
+    print("sparsecore breakdown:", {k: round(v, 3)
+                                    for k, v in sc.breakdown().items()})
+    return 0
+
+
+def _cmd_pattern(args) -> int:
+    from repro.gpm.apps import _pattern_by_name
+    from repro.gpm.compiler import compile_pattern
+    from repro.graph.datasets import load_graph
+    from repro.machine.context import Machine
+
+    pattern = _pattern_by_name(args.pattern)
+    compiled = compile_pattern(
+        pattern,
+        vertex_induced=not args.edge_induced,
+        use_nested=not args.no_nested,
+    )
+    print(compiled.plan.describe())
+    print("\nstream assembly:")
+    print(str(compiled.assembly()))
+    graph = load_graph(args.graph, args.scale)
+    machine = Machine(name=pattern.name)
+    count = compiled.count(graph, machine)
+    print(f"\n{graph}")
+    print(f"embeddings: {count}")
+    from repro.arch import CpuModel, SparseCoreModel
+
+    sc = SparseCoreModel().cost(machine.trace)
+    cpu = CpuModel().cost(machine.trace)
+    print(f"speedup vs CPU: {sc.speedup_over(cpu):.2f}x")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.eval import tables
+    from repro.eval.reporting import render
+
+    runners = {
+        "1": (tables.table1_rows, "Table 1: Stream ISA"),
+        "2": (tables.table2_rows, "Table 2: Architecture Configuration"),
+        "3": (tables.table3_rows, "Table 3: GPM Apps"),
+        "4": (tables.table4_rows, "Table 4: Graph Datasets"),
+        "5": (tables.table5_rows, "Table 5: Matrix/Tensor Datasets"),
+    }
+    runner, title = runners[args.number]
+    print(render(runner(), title))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.eval import figures
+    from repro.eval.reporting import render
+
+    n = args.number
+    if n == "7":
+        rows = figures.fig07_rows(args.scale)
+        print(render(rows, "Figure 7"))
+        print("summary:", figures.fig07_summary(rows))
+    elif n == "8":
+        rows = figures.fig08_rows(args.scale)
+        print(render(rows, "Figure 8"))
+        print("summary:", figures.fig08_summary(rows))
+    elif n == "9":
+        print(render(figures.fig09_rows(args.scale), "Figure 9"))
+    elif n == "10":
+        print(render(figures.fig10_rows(args.scale), "Figure 10"))
+    elif n == "11":
+        print(render(figures.fig11_rows(args.scale), "Figure 11"))
+    elif n == "12":
+        print(render(figures.fig12_rows(args.scale), "Figure 12"))
+    elif n == "13":
+        print(render(figures.fig13_rows(args.scale), "Figure 13"))
+    elif n == "14":
+        print(render(figures.fig14_left_rows(args.scale),
+                     "Figure 14 (left)"))
+        print(render(figures.fig14_right_rows(args.scale),
+                     "Figure 14 (right)"))
+    elif n == "15":
+        mrows = figures.fig15_matrix_rows()
+        trows = figures.fig15_tensor_rows()
+        print(render(mrows, "Figure 15(a)"))
+        print(render(trows, "Figure 15(b)"))
+        print("summary:", figures.fig15_summary(mrows, trows))
+    elif n == "16":
+        print(render(figures.fig16_rows(), "Figure 16"))
+    return 0
+
+
+def _cmd_spmspm(args) -> int:
+    from repro.arch import CpuModel, SparseCoreModel
+    from repro.machine.context import Machine
+    from repro.tensor.datasets import load_matrix
+    from repro.tensorops.taco import compile_expression
+
+    mat = load_matrix(args.matrix)
+    print(f"matrix: {mat}")
+    kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", args.dataflow)
+    machine = Machine()
+    result = kernel.run(mat, mat, machine)
+    cpu = CpuModel().cost(machine.trace)
+    sc = SparseCoreModel().cost(machine.trace)
+    print(f"C: {result}")
+    print(f"speedup vs CPU: {sc.speedup_over(cpu):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparseCore (ASPLOS 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset registries")
+
+    run = sub.add_parser("run", help="run a GPM application")
+    run.add_argument("app", choices=["T", "TS", "TC", "TT", "TM", "4C",
+                                     "4CS", "5C", "5CS", "FSM"])
+    run.add_argument("--graph", default="email_eu_core")
+    run.add_argument("--scale", type=float, default=1.0)
+
+    pattern = sub.add_parser("pattern", help="compile and run a pattern")
+    pattern.add_argument("pattern",
+                         help="triangle | three-chain | tailed-triangle | "
+                              "k-clique | k-chain | k-star")
+    pattern.add_argument("--graph", default="citeseer")
+    pattern.add_argument("--scale", type=float, default=1.0)
+    pattern.add_argument("--edge-induced", action="store_true")
+    pattern.add_argument("--no-nested", action="store_true")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=["1", "2", "3", "4", "5"])
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=[str(i) for i in range(7, 17)])
+    figure.add_argument("--scale", type=float, default=1.0)
+
+    spmspm = sub.add_parser("spmspm", help="run one spmspm dataflow")
+    spmspm.add_argument("--matrix", default="laser")
+    spmspm.add_argument("--dataflow", default="gustavson",
+                        choices=["inner", "outer", "gustavson"])
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "run": _cmd_run,
+    "pattern": _cmd_pattern,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "spmspm": _cmd_spmspm,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

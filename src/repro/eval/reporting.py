@@ -1,0 +1,70 @@
+"""ASCII table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render(rows: Iterable[dict], title: str = "") -> str:
+    """Render row dicts as a fixed-width ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_format(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in cells
+    ]
+    out = [header, rule, *body]
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation the paper's summaries use)."""
+    import math
+
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def to_csv(rows: Iterable[dict], path) -> None:
+    """Write experiment rows to a CSV file (plotting-tool friendly)."""
+    import csv
+    import pathlib
+
+    rows = list(rows)
+    path = pathlib.Path(path)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)

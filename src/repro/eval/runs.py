@@ -1,0 +1,119 @@
+"""Shared run collection with caching.
+
+One GPM kernel run feeds many figures (speedups, breakdowns, SU/
+bandwidth sweeps, accelerator comparisons, stream-length CDFs), so each
+(app, graph, scale) is executed once; everything any figure needs is
+computed while the trace is alive and cached as plain numbers — traces
+for large runs are then dropped to bound memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import (
+    FlexMinerModel,
+    GpuModel,
+    GramerModel,
+    TrieJaxModel,
+)
+from repro.accel.triejax import Unsupported
+from repro.arch.config import SparseCoreConfig
+from repro.arch.cpu import CpuModel
+from repro.arch.sparsecore import SparseCoreModel
+from repro.gpm import pattern as pat
+from repro.gpm.apps import run_app
+from repro.gpm.symmetry import redundancy_factor
+from repro.graph.datasets import load_graph
+
+#: SU counts of Figure 12 and bandwidths of Figure 13.
+SU_SWEEP = (1, 2, 4, 8, 16)
+BW_SWEEP = (2, 4, 8, 16, 32, 64)
+
+#: Pattern backing each app code (for redundancy factors) and whether
+#: the app is vertex-induced (TrieJax support check).
+_APP_PATTERNS = {
+    "T": (pat.triangle(), False),
+    "TS": (pat.triangle(), False),
+    "TC": (pat.wedge(), True),
+    "TM": (pat.wedge(), True),  # representative component
+    "TT": (pat.tailed_triangle(), True),
+    "4C": (pat.clique(4), False),
+    "4CS": (pat.clique(4), False),
+    "5C": (pat.clique(5), False),
+    "5CS": (pat.clique(5), False),
+}
+
+_CACHE: dict[tuple, dict] = {}
+
+
+def clear_run_cache() -> None:
+    _CACHE.clear()
+
+
+def gpm_run(app: str, graph_name: str, scale: float = 1.0):
+    """Execute one app on one stand-in graph (uncached; returns AppRun)."""
+    graph = load_graph(graph_name, scale)
+    return run_app(app, graph, record_lengths=True)
+
+
+def gpm_metrics(app: str, graph_name: str, scale: float = 1.0) -> dict:
+    """All per-run metrics any figure needs, computed once and cached."""
+    key = (app, graph_name, scale)
+    if key in _CACHE:
+        return _CACHE[key]
+    graph = load_graph(graph_name, scale)
+    run = run_app(app, graph, record_lengths=True)
+    trace = run.trace.freeze()
+
+    cpu = CpuModel().cost(trace)
+    sc = SparseCoreModel().cost(trace)
+    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
+
+    metrics: dict = {
+        "app": app,
+        "graph": graph_name,
+        "count": run.count,
+        "num_ops": trace.num_ops,
+        "cpu_cycles": cpu.total_cycles,
+        "sc_cycles": sc.total_cycles,
+        "sc_cycles_1su": one_su.total_cycles,
+        "speedup_vs_cpu": sc.speedup_over(cpu),
+        "cpu_breakdown": cpu.breakdown(),
+        "sc_breakdown": sc.breakdown(),
+        "su_sweep": {
+            n: SparseCoreModel(SparseCoreConfig(num_sus=n)).cost(trace)
+            .total_cycles
+            for n in SU_SWEEP
+        },
+        "bw_sweep": {
+            bw: SparseCoreModel(SparseCoreConfig(scache_bandwidth=bw))
+            .cost(trace).total_cycles
+            for bw in BW_SWEEP
+        },
+        "stream_lengths": np.asarray(run.machine.length_samples,
+                                     dtype=np.int64),
+    }
+
+    pattern_info = _APP_PATTERNS.get(app)
+    if pattern_info is not None:
+        pattern, vertex_induced = pattern_info
+        redundancy = redundancy_factor(pattern)
+        # One compute unit per accelerator vs one SU (Section 6.3.1).
+        metrics["sc_cycles_1su_1cu"] = one_su.total_cycles
+        metrics["flexminer_cycles"] = FlexMinerModel().cost(trace) \
+            .total_cycles
+        try:
+            metrics["triejax_cycles"] = TrieJaxModel(
+                graph.num_vertices, redundancy, vertex_induced
+            ).cost(trace).total_cycles
+        except Unsupported:
+            metrics["triejax_cycles"] = None
+        metrics["gramer_cycles"] = GramerModel().cost(trace).total_cycles
+        metrics["gpu_cycles_no_breaking"] = GpuModel(
+            redundancy, symmetry_breaking=False).cost(trace).total_cycles
+        metrics["gpu_cycles_breaking"] = GpuModel(
+            redundancy, symmetry_breaking=True).cost(trace).total_cycles
+
+    _CACHE[key] = metrics
+    return metrics

@@ -1,0 +1,32 @@
+"""Graph pattern mining: patterns, compiler, applications.
+
+This package is the software half of the paper's GPM story
+(Section 5.3): it takes user-specified patterns, synthesizes
+intersection-based pattern-enumeration algorithms with symmetry
+breaking and bounded intersections (Section 2.2), and runs them against
+any :class:`~repro.machine.context.Machine` — producing both the exact
+embedding counts and the cost traces the evaluation figures use.  The
+compiler also emits stream-ISA assembly for its inner loops.
+
+The application registry (:mod:`repro.gpm.apps`) provides the paper's
+Table 3 workloads: triangle/three-chain/tailed-triangle counting,
+3-motif, 4/5-clique (with and without nested intersection), and FSM.
+"""
+
+from repro.gpm.pattern import Pattern
+from repro.gpm.compiler import CompiledPattern, GPMCompiler, compile_pattern
+from repro.gpm.apps import APP_REGISTRY, app_names, count_pattern, run_app
+from repro.gpm.fsm import FsmResult, run_fsm
+
+__all__ = [
+    "Pattern",
+    "CompiledPattern",
+    "GPMCompiler",
+    "compile_pattern",
+    "APP_REGISTRY",
+    "app_names",
+    "count_pattern",
+    "run_app",
+    "FsmResult",
+    "run_fsm",
+]

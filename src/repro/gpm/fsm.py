@@ -1,0 +1,168 @@
+"""Frequent subgraph mining with minimum image-based (MNI) support.
+
+Following the paper (and Peregrine), FSM discovers all vertex-labeled
+patterns with **at most three edges** whose MNI support in a labeled
+graph is at least a user threshold.  The MNI support of a pattern is
+the minimum, over pattern positions, of the number of distinct graph
+vertices appearing at that position across all (edge-induced)
+embeddings.
+
+Mining is apriori-staged: frequent labeled edges are found first, then
+larger candidates are generated only from skeletons whose every labeled
+edge is frequent.  Embeddings are enumerated with the same compiled
+plans as every other GPM workload, so FSM's support computation runs on
+(and is costed by) the recording machine like the paper's
+implementation — which is also why its SparseCore speedups are modest:
+most time goes to image bookkeeping, not set operations (Section 6.3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.gpm.compiler import compile_pattern
+from repro.gpm.pattern import Pattern, chain, star, triangle, wedge
+from repro.machine.context import Machine
+
+#: Scalar instructions per embedding for image-set maintenance: index
+#: computations, bitmap updates per position, and branchy dedup — the
+#: "costly support calculation" that caps FSM's speedup (Section 6.3.2).
+SUPPORT_INSTRS = 30
+
+
+@dataclass(frozen=True)
+class FrequentPattern:
+    pattern: Pattern
+    support: int
+
+
+@dataclass
+class FsmResult:
+    frequent: list[FrequentPattern] = field(default_factory=list)
+    candidates_checked: int = 0
+    embeddings_seen: int = 0
+
+    def supports(self) -> dict[str, int]:
+        return {
+            f"{fp.pattern.name}:{fp.pattern.labels}": fp.support
+            for fp in self.frequent
+        }
+
+
+#: Unlabeled skeletons with <= 3 edges (every connected graph with at
+#: most three edges is one of these).
+def _skeletons(max_edges: int) -> list[Pattern]:
+    out = [chain(2)]  # single edge
+    if max_edges >= 2:
+        out.append(wedge())
+    if max_edges >= 3:
+        out.extend([triangle(), chain(4), star(3)])
+    return out
+
+
+def _position_orbits(pattern: Pattern, order: tuple[int, ...]) -> list[list[int]]:
+    """Orbits of matching positions under the automorphism group.
+
+    Symmetry-broken enumeration fills only canonical orderings, so MNI
+    image sets must be unioned across each orbit."""
+    pos_of = {v: i for i, v in enumerate(order)}
+    parent = list(range(pattern.n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for sigma in pattern.automorphisms:
+        for v in range(pattern.n):
+            a, b = find(v), find(sigma[v])
+            if a != b:
+                parent[a] = b
+    orbits: dict[int, list[int]] = {}
+    for v in range(pattern.n):
+        orbits.setdefault(find(v), []).append(pos_of[v])
+    return list(orbits.values())
+
+
+def mni_support(pattern: Pattern, graph, machine: Machine) -> int:
+    """MNI support of a labeled pattern via compiled enumeration."""
+    compiled = compile_pattern(pattern, vertex_induced=False,
+                               use_nested=False)
+    n = graph.num_vertices
+    seen = [np.zeros(n, dtype=bool) for _ in range(pattern.n)]
+    embeddings = 0
+    for prefix, final_cands in compiled.enumerate(graph, machine):
+        for position, v in enumerate(prefix):
+            seen[position][v] = True
+        seen[len(prefix)][final_cands] = True
+        embeddings += int(final_cands.size)
+        machine.scalar(SUPPORT_INSTRS * (len(prefix) + final_cands.size))
+    if embeddings == 0:
+        return 0
+    # Union image sets across automorphism orbits of positions.
+    support = None
+    for orbit in _position_orbits(pattern, compiled.plan.order):
+        merged = np.zeros(n, dtype=bool)
+        for position in orbit:
+            merged |= seen[position]
+        size = int(merged.sum())
+        support = size if support is None else min(support, size)
+    return int(support or 0)
+
+
+def _labeled_variants(skeleton: Pattern, labels: list[int],
+                      frequent_edges: set[tuple[int, int]] | None):
+    """Distinct labelings of a skeleton, pruned by frequent edges."""
+    seen_keys = set()
+    for assignment in itertools.product(labels, repeat=skeleton.n):
+        if frequent_edges is not None:
+            ok = all(
+                (min(assignment[u], assignment[v]),
+                 max(assignment[u], assignment[v])) in frequent_edges
+                for u, v in skeleton.edges
+            )
+            if not ok:
+                continue
+        candidate = Pattern(skeleton.n, skeleton.edges, assignment,
+                            name=skeleton.name)
+        key = candidate.canonical_key()
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        yield candidate
+
+
+def run_fsm(graph, support: int, machine: Machine | None = None,
+            max_edges: int = 3) -> FsmResult:
+    """Mine all frequent labeled patterns with ``<= max_edges`` edges."""
+    if graph.labels is None:
+        raise DatasetError("FSM requires a labeled graph")
+    machine = machine or Machine(name="fsm")
+    labels = sorted(int(x) for x in np.unique(graph.labels))
+    result = FsmResult()
+
+    # Phase 1: frequent labeled edges (apriori seed).
+    frequent_edges: set[tuple[int, int]] = set()
+    edge_skeleton = chain(2)
+    for candidate in _labeled_variants(edge_skeleton, labels, None):
+        result.candidates_checked += 1
+        sup = mni_support(candidate, graph, machine)
+        if sup >= support:
+            assert candidate.labels is not None
+            la, lb = candidate.labels
+            frequent_edges.add((min(la, lb), max(la, lb)))
+            result.frequent.append(FrequentPattern(candidate, sup))
+
+    # Phase 2: larger skeletons, edges pruned by phase 1.
+    for skeleton in _skeletons(max_edges)[1:]:
+        for candidate in _labeled_variants(skeleton, labels, frequent_edges):
+            result.candidates_checked += 1
+            sup = mni_support(candidate, graph, machine)
+            if sup >= support:
+                result.frequent.append(FrequentPattern(candidate, sup))
+    return result

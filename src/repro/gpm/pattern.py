@@ -1,0 +1,205 @@
+"""Pattern specifications for graph pattern mining.
+
+A pattern is a small connected simple graph (optionally vertex-labeled)
+whose embeddings we enumerate in an input graph.  The module provides
+the pattern library used by the paper's workloads (Table 3) plus the
+automorphism machinery symmetry breaking builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from repro.errors import PatternError
+
+
+class Pattern:
+    """A small connected simple graph with optional vertex labels.
+
+    Parameters
+    ----------
+    num_vertices:
+        Pattern size (enumeration cost grows steeply; <= 6 in practice).
+    edges:
+        Iterable of (u, v) pairs; symmetrized and deduplicated.
+    labels:
+        Optional per-vertex label sequence (FSM patterns).
+    name:
+        Display name.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        labels: Sequence[int] | None = None,
+        name: str = "pattern",
+    ):
+        self.n = int(num_vertices)
+        edge_set: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise PatternError("patterns must not contain self loops")
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise PatternError(f"edge ({u},{v}) out of range")
+            edge_set.add((min(u, v), max(u, v)))
+        self.edges = frozenset(edge_set)
+        self.labels = None if labels is None else tuple(int(x) for x in labels)
+        if self.labels is not None and len(self.labels) != self.n:
+            raise PatternError("labels must cover every pattern vertex")
+        self.name = name
+        if self.n > 1 and not self._connected():
+            raise PatternError(f"pattern {name!r} must be connected")
+
+    # -- structure ----------------------------------------------------------
+
+    def _connected(self) -> bool:
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.n
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self.edges
+
+    def neighbors(self, u: int) -> list[int]:
+        return sorted(
+            v for v in range(self.n) if v != u and self.has_edge(u, v)
+        )
+
+    def degree(self, u: int) -> int:
+        return len(self.neighbors(u))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def label_of(self, u: int) -> int | None:
+        return None if self.labels is None else self.labels[u]
+
+    # -- automorphisms --------------------------------------------------------
+
+    @cached_property
+    def automorphisms(self) -> list[tuple[int, ...]]:
+        """All label-preserving automorphisms (brute force; n <= ~8)."""
+        autos = []
+        for perm in itertools.permutations(range(self.n)):
+            if self.labels is not None and any(
+                self.labels[perm[v]] != self.labels[v] for v in range(self.n)
+            ):
+                continue
+            if all(
+                self.has_edge(perm[u], perm[v]) == self.has_edge(u, v)
+                for u in range(self.n)
+                for v in range(u + 1, self.n)
+            ):
+                autos.append(perm)
+        return autos
+
+    def relabel(self, perm: Sequence[int]) -> "Pattern":
+        """Pattern with vertex ``v`` renamed to ``perm[v]``."""
+        edges = [(perm[u], perm[v]) for u, v in self.edges]
+        labels = None
+        if self.labels is not None:
+            labels = [0] * self.n
+            for v in range(self.n):
+                labels[perm[v]] = self.labels[v]
+        return Pattern(self.n, edges, labels, name=self.name)
+
+    def canonical_key(self) -> tuple:
+        """A canonical form key: equal keys <=> isomorphic patterns."""
+        best = None
+        for perm in itertools.permutations(range(self.n)):
+            if self.labels is not None:
+                key_labels = tuple(
+                    self.labels[v]
+                    for v in sorted(range(self.n), key=lambda x: perm[x])
+                )
+            else:
+                key_labels = ()
+            key_edges = tuple(sorted(
+                (min(perm[u], perm[v]), max(perm[u], perm[v]))
+                for u, v in self.edges
+            ))
+            key = (key_edges, key_labels)
+            if best is None or key < best:
+                best = key
+        return (self.n, best)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return (self.n, self.edges, self.labels) == (
+            other.n, other.edges, other.labels)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.edges, self.labels))
+
+    def __repr__(self) -> str:
+        return (f"Pattern({self.name!r}, n={self.n}, "
+                f"edges={sorted(self.edges)})")
+
+
+# ---------------------------------------------------------------------------
+# pattern library (Table 3 workloads)
+# ---------------------------------------------------------------------------
+
+
+def triangle() -> Pattern:
+    return Pattern(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def clique(k: int) -> Pattern:
+    return Pattern(
+        k, [(i, j) for i in range(k) for j in range(i + 1, k)],
+        name=f"{k}-clique",
+    )
+
+
+def chain(k: int) -> Pattern:
+    """A path of ``k`` vertices (the paper's "k-chain")."""
+    return Pattern(k, [(i, i + 1) for i in range(k - 1)], name=f"{k}-chain")
+
+
+def wedge() -> Pattern:
+    """Three-chain: the vertex-induced path on three vertices."""
+    return Pattern(3, [(0, 1), (0, 2)], name="three-chain")
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle (0,1,2) with a tail vertex 3 attached to vertex 1
+    (the Figure 2 example)."""
+    return Pattern(4, [(0, 1), (0, 2), (1, 2), (1, 3)],
+                   name="tailed-triangle")
+
+
+def star(k: int) -> Pattern:
+    """A center (vertex 0) with ``k`` leaves."""
+    return Pattern(k + 1, [(0, i) for i in range(1, k + 1)],
+                   name=f"{k}-star")
+
+
+def motif_patterns(size: int) -> list[Pattern]:
+    """All connected patterns with ``size`` vertices (k-motif mining)."""
+    if size == 3:
+        return [wedge(), triangle()]
+    found: dict[tuple, Pattern] = {}
+    all_pairs = list(itertools.combinations(range(size), 2))
+    for bits in range(1 << len(all_pairs)):
+        edges = [all_pairs[i] for i in range(len(all_pairs))
+                 if bits & (1 << i)]
+        if len(edges) < size - 1:
+            continue
+        try:
+            p = Pattern(size, edges, name=f"{size}-motif")
+        except PatternError:
+            continue
+        found.setdefault(p.canonical_key(), p)
+    return list(found.values())

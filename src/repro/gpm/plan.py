@@ -1,0 +1,226 @@
+"""Matching plans: the loop-nest structure a pattern compiles to.
+
+A :class:`MatchingPlan` captures, per matching level, everything the
+generated loop nest needs:
+
+* which earlier levels the new vertex must be adjacent to
+  (intersections of their edge lists),
+* which it must *not* be adjacent to for vertex-induced matching
+  (subtractions),
+* the symmetry-breaking upper bounds (bounded operations),
+* whether previously matched vertices must be subtracted explicitly
+  (the paper's ``{v0, v2}`` subtraction in Figure 2),
+* whether the final level can execute as a single ``S_NESTINTER``
+  (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+from repro.gpm.pattern import Pattern
+from repro.gpm.symmetry import default_matching_order, restrictions_for_order
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Loop-nest step matching one pattern vertex."""
+
+    position: int
+    pattern_vertex: int
+    #: earlier positions whose vertices must be adjacent (intersect).
+    connected: tuple[int, ...]
+    #: earlier positions whose vertices must NOT be adjacent (subtract;
+    #: vertex-induced matching only).
+    disconnected: tuple[int, ...]
+    #: earlier positions whose values upper-bound this vertex.
+    upper_bounds: tuple[int, ...]
+    #: earlier positions whose matched vertices must be subtracted
+    #: explicitly (they would otherwise survive every candidate
+    #: operation — the paper's ``{v0, v2}`` subtraction in Figure 2).
+    subtract_positions: tuple[int, ...]
+    #: required vertex label (labeled patterns), or None.
+    label: int | None = None
+
+    @property
+    def subtract_matched(self) -> bool:
+        return bool(self.subtract_positions)
+
+
+@dataclass(frozen=True)
+class MatchingPlan:
+    """Complete plan: ordered levels plus final-level strategy."""
+
+    pattern: Pattern
+    order: tuple[int, ...]
+    levels: tuple[LevelPlan, ...]
+    vertex_induced: bool
+    #: final level executes as S_NESTINTER over the previous level's
+    #: candidate set.
+    use_nested: bool
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def describe(self) -> str:
+        """Human-readable plan dump (compiler diagnostics)."""
+        lines = [
+            f"plan for {self.pattern.name!r} "
+            f"(order {list(self.order)}, "
+            f"{'vertex' if self.vertex_induced else 'edge'}-induced)"
+        ]
+        for lv in self.levels:
+            parts = [f"level {lv.position}: match pattern vertex "
+                     f"{lv.pattern_vertex}"]
+            if lv.connected:
+                parts.append(f"intersect N(v{list(lv.connected)})")
+            if lv.disconnected:
+                parts.append(f"subtract N(v{list(lv.disconnected)})")
+            if lv.upper_bounds:
+                parts.append(f"bound < min(v{list(lv.upper_bounds)})")
+            if lv.subtract_matched:
+                parts.append("subtract matched set")
+            if lv.label is not None:
+                parts.append(f"label == {lv.label}")
+            lines.append("  " + "; ".join(parts))
+        if self.use_nested:
+            lines.append("  final level: S_NESTINTER")
+        return "\n".join(lines)
+
+
+def build_plan(
+    pattern: Pattern,
+    *,
+    vertex_induced: bool = True,
+    use_nested: bool = True,
+    order: list[int] | None = None,
+) -> MatchingPlan:
+    """Compile a pattern into a matching plan.
+
+    ``use_nested`` requests the nested-intersection optimization; it is
+    applied only when the final level has the required shape (see
+    :func:`_nested_applicable`).
+    """
+    if pattern.n < 2:
+        raise CompilerError("patterns need at least two vertices")
+    order = list(order) if order is not None else default_matching_order(pattern)
+    if sorted(order) != list(range(pattern.n)):
+        raise CompilerError(f"order {order} is not a permutation")
+    restrictions = restrictions_for_order(pattern, order)
+    ubs_of: dict[int, list[int]] = {}
+    for p, q in restrictions:
+        ubs_of.setdefault(q, []).append(p)
+
+    levels = []
+    for pos, vertex in enumerate(order):
+        connected = tuple(
+            q for q in range(pos)
+            if pattern.has_edge(order[q], vertex)
+        )
+        disconnected = tuple(
+            q for q in range(pos)
+            if not pattern.has_edge(order[q], vertex)
+        ) if vertex_induced else ()
+        if pos > 0 and not connected:
+            raise CompilerError(
+                f"matching order {order} disconnects vertex {vertex}"
+            )
+        upper_bounds = tuple(sorted(ubs_of.get(pos, ())))
+        subtract_positions = tuple(
+            q for q in range(pos)
+            if _needs_explicit_removal(
+                pattern, order, q, connected, disconnected, upper_bounds,
+                vertex_induced,
+            )
+        )
+        levels.append(
+            LevelPlan(
+                position=pos,
+                pattern_vertex=vertex,
+                connected=connected,
+                disconnected=disconnected,
+                upper_bounds=upper_bounds,
+                subtract_positions=subtract_positions,
+                label=pattern.label_of(vertex),
+            )
+        )
+
+    nested = use_nested and _nested_applicable(levels)
+    return MatchingPlan(
+        pattern=pattern,
+        order=tuple(order),
+        levels=tuple(levels),
+        vertex_induced=vertex_induced,
+        use_nested=nested,
+    )
+
+
+def _needs_explicit_removal(
+    pattern: Pattern,
+    order: list[int],
+    q: int,
+    connected: tuple[int, ...],
+    disconnected: tuple[int, ...],
+    upper_bounds: tuple[int, ...],
+    vertex_induced: bool,
+) -> bool:
+    """Could the vertex matched at position ``q`` survive every
+    candidate operation of the current level?
+
+    A matched vertex is removed for free when one of the level's
+    operations is guaranteed to drop it:
+
+    * intersecting with its own edge list (``q in connected``),
+    * a strict upper bound that includes it (``q in upper_bounds``),
+    * vertex-induced only — subtracting the edge list of a vertex the
+      pattern makes it adjacent to, or intersecting with the edge list
+      of one it is *not* adjacent to (induced matching makes graph
+      adjacency between matched vertices mirror pattern adjacency).
+
+    Everything else needs the explicit matched-set subtraction.
+    """
+    if q in connected or q in upper_bounds:
+        return False
+    if not vertex_induced:
+        # Graph adjacency between matched vertices is unconstrained;
+        # assume survival.
+        return True
+    vq = order[q]
+    survives_intersections = all(
+        pattern.has_edge(vq, order[c]) for c in connected
+    )
+    survives_subtractions = not any(
+        pattern.has_edge(vq, order[d]) for d in disconnected if d != q
+    )
+    return survives_intersections and survives_subtractions
+
+
+def _nested_applicable(levels: list[LevelPlan]) -> bool:
+    """The final level folds into ``S_NESTINTER`` when its candidates
+    are exactly ``cand(prev) ∩ N(v_prev)`` bounded by ``v_prev``:
+
+    * the last vertex connects to the same earlier positions as the
+      previous one, plus the previous position itself,
+    * no subtractions or label filters at either level,
+    * the binding upper bound is the previous vertex (which, given the
+      previous level's own bounds, dominates any inherited bound).
+    """
+    if len(levels) < 3:
+        return False
+    last, prev = levels[-1], levels[-2]
+    if last.disconnected or prev.disconnected:
+        return False
+    if last.label is not None:
+        return False
+    if last.subtract_matched:
+        return False
+    if set(last.connected) != set(prev.connected) | {prev.position}:
+        return False
+    if prev.position not in last.upper_bounds:
+        return False
+    # Any other bound on the last level must also bound the previous
+    # level, so min(bounds) == v_prev at runtime.
+    extra = set(last.upper_bounds) - {prev.position}
+    return extra <= set(prev.upper_bounds)

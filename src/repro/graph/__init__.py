@@ -1,0 +1,40 @@
+"""Graph substrate: CSR graphs, synthetic generators, dataset registry.
+
+Graphs are stored in compressed sparse row (CSR) form with the three
+arrays the paper's graph format registers hold (Section 3.2):
+
+* the **vertex array** (``indptr``): per-vertex start of its edge list,
+* the **edge array** (``indices``): concatenated sorted neighbor lists,
+* the **CSR offset array**: per vertex, the offset of the smallest
+  neighbor larger than the vertex itself — the hardware hook for
+  symmetry breaking and nested intersection.
+
+:mod:`repro.graph.datasets` provides seeded synthetic stand-ins for the
+ten real graphs of Table 4 (see DESIGN.md for the substitution note).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    sample_power_law_degrees,
+)
+from repro.graph.datasets import (
+    GRAPH_REGISTRY,
+    GraphSpec,
+    dataset_names,
+    load_graph,
+    table4_rows,
+)
+
+__all__ = [
+    "CSRGraph",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "sample_power_law_degrees",
+    "GRAPH_REGISTRY",
+    "GraphSpec",
+    "dataset_names",
+    "load_graph",
+    "table4_rows",
+]

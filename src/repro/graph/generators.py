@@ -1,0 +1,121 @@
+"""Seeded synthetic graph generators.
+
+The dataset registry (:mod:`repro.graph.datasets`) uses these to build
+stand-ins for the paper's real graphs.  The key knobs the paper's
+analysis depends on are the **average degree** (speedups grow with it,
+Section 6.3.2) and the **degree-distribution tail** (stream length CDFs,
+Section 6.6), so the generators target those directly:
+
+* :func:`power_law_graph` samples a truncated discrete power-law degree
+  sequence whose exponent is solved numerically to hit the requested
+  average degree and maximum degree, then wires the stubs with a
+  configuration-model pairing (self loops and multi-edges dropped).
+* :func:`erdos_renyi_graph` for flat-degree graphs.
+
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def _truncated_power_law_pmf(gamma: float, dmin: int, dmax: int) -> np.ndarray:
+    ds = np.arange(dmin, dmax + 1, dtype=np.float64)
+    w = ds**-gamma
+    return w / w.sum()
+
+
+def _mean_degree(gamma: float, dmin: int, dmax: int) -> float:
+    ds = np.arange(dmin, dmax + 1, dtype=np.float64)
+    pmf = _truncated_power_law_pmf(gamma, dmin, dmax)
+    return float((ds * pmf).sum())
+
+
+def solve_power_law_exponent(
+    target_mean: float, dmin: int, dmax: int, *, tol: float = 1e-6
+) -> float:
+    """Find the exponent of a truncated power law with the given mean.
+
+    The mean of ``P(d) ∝ d^-gamma`` on ``[dmin, dmax]`` decreases
+    monotonically in gamma, so a bisection suffices.  Targets outside
+    the reachable range clamp to the nearest endpoint.
+    """
+    lo, hi = -2.0, 8.0
+    if target_mean >= _mean_degree(lo, dmin, dmax):
+        return lo
+    if target_mean <= _mean_degree(hi, dmin, dmax):
+        return hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if _mean_degree(mid, dmin, dmax) > target_mean:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def sample_power_law_degrees(
+    n: int,
+    mean_degree: float,
+    max_degree: int,
+    seed: int,
+    *,
+    min_degree: int = 1,
+) -> np.ndarray:
+    """Sample ``n`` degrees from a truncated power law with given mean."""
+    max_degree = max(min_degree, min(max_degree, n - 1))
+    gamma = solve_power_law_exponent(mean_degree, min_degree, max_degree)
+    pmf = _truncated_power_law_pmf(gamma, min_degree, max_degree)
+    rng = np.random.default_rng(seed)
+    degrees = rng.choice(
+        np.arange(min_degree, max_degree + 1), size=n, p=pmf
+    ).astype(np.int64)
+    # Guarantee at least one vertex near the max degree so the tail of the
+    # stream-length distribution (Figure 14) is populated.
+    degrees[int(rng.integers(n))] = max_degree
+    return degrees
+
+
+def power_law_graph(
+    n: int,
+    mean_degree: float,
+    max_degree: int,
+    seed: int = 0,
+    name: str = "power_law",
+) -> CSRGraph:
+    """Configuration-model graph with a truncated power-law degree sequence.
+
+    ``mean_degree`` is the target *undirected* degree average (2|E|/|V|).
+    The realized averages land slightly lower because self loops and
+    duplicate edges from the stub pairing are discarded.
+    """
+    rng = np.random.default_rng(seed + 1)
+    degrees = sample_power_law_degrees(n, mean_degree, max_degree, seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    if stubs.size % 2:
+        stubs = stubs[:-1]
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    return CSRGraph.from_edges(n, pairs, name=name)
+
+
+def erdos_renyi_graph(
+    n: int, mean_degree: float, seed: int = 0, name: str = "erdos_renyi"
+) -> CSRGraph:
+    """G(n, m) random graph with ``m = n * mean_degree / 2`` edges."""
+    rng = np.random.default_rng(seed)
+    m = int(round(n * mean_degree / 2))
+    u = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    pairs = np.stack([u, v], axis=1)
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]][:m]
+    return CSRGraph.from_edges(n, pairs, name=name)
+
+
+def random_labels(n: int, num_labels: int, seed: int = 0) -> np.ndarray:
+    """Uniform random vertex labels (for FSM workloads)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_labels, size=n, dtype=np.int64)

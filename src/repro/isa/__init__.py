@@ -1,0 +1,32 @@
+"""Stream ISA extension (Table 1 of the paper).
+
+The ISA makes streams first-class: fourteen instructions covering
+stream initialization/free, stream computation (intersection,
+subtraction, merge, value ops, nested intersection), and element
+access.  This package defines the instruction specification
+(:mod:`repro.isa.spec`), an assembly text format with assembler and
+disassembler (:mod:`repro.isa.assembler`), and a program container
+(:mod:`repro.isa.program`).  The functional executor for programs
+lives in :mod:`repro.arch.executor`.
+"""
+
+from repro.isa.spec import (
+    EOS,
+    INSTRUCTION_SET,
+    Instruction,
+    InstructionSpec,
+    Opcode,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "EOS",
+    "INSTRUCTION_SET",
+    "Instruction",
+    "InstructionSpec",
+    "Opcode",
+    "Program",
+    "assemble",
+    "disassemble",
+]

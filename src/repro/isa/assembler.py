@@ -1,0 +1,86 @@
+"""Assembler and disassembler for stream-ISA text.
+
+Syntax, one instruction per line::
+
+    # full-line comment
+    S_READ 4096, 12, 3, 0      # trailing comment
+    S_INTER 3, 7, 9, -1
+    S_VINTER 3, 7, R2, MAC
+
+Operands may be integer immediates, floats (``S_VMERGE`` scales),
+scalar register names (``R0``-``R31``, ``F0``-``F7``) or value-op
+mnemonics (the IMM of ``S_VINTER``).  The assembler validates arity
+against the Table 1 specification.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.program import Program
+from repro.isa.spec import INSTRUCTION_SET, Instruction, Opcode, Operand
+
+_MNEMONICS = {str(op): op for op in Opcode}
+_REGISTER_RE = re.compile(r"^(R([0-9]|[12][0-9]|3[01])|F[0-7])$")
+
+
+def is_register(token: object) -> bool:
+    """True when ``token`` names a scalar register (R0-R31, F0-F7)."""
+    return isinstance(token, str) and bool(_REGISTER_RE.match(token))
+
+
+def _parse_operand(token: str, lineno: int) -> Operand:
+    token = token.strip()
+    if not token:
+        raise AssemblerError(f"line {lineno}: empty operand")
+    if _REGISTER_RE.match(token):
+        return token
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token.isidentifier():
+        return token.upper()  # value-op mnemonic (MAC/MIN/MAX/...)
+    raise AssemblerError(f"line {lineno}: cannot parse operand {token!r}")
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Parse assembly ``text`` into a :class:`Program`."""
+    program = Program(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line, _, comment = raw.partition("#")
+        line = line.strip()
+        comment = comment.strip()
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        opcode = _MNEMONICS.get(mnemonic.upper())
+        if opcode is None:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        tokens = [t for t in rest.split(",")] if rest.strip() else []
+        operands = tuple(_parse_operand(t, lineno) for t in tokens)
+        spec = INSTRUCTION_SET[opcode]
+        if len(operands) != spec.arity:
+            raise AssemblerError(
+                f"line {lineno}: {opcode} takes {spec.arity} operands "
+                f"({', '.join(spec.operand_names)}), got {len(operands)}"
+            )
+        program.append(Instruction(opcode, operands), comment or None)
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Render a :class:`Program` back to assembly text."""
+    lines = []
+    for idx, instr in enumerate(program.instructions):
+        line = str(instr)
+        comment = program.comments.get(idx)
+        if comment:
+            line = f"{line:<40} # {comment}"
+        lines.append(line)
+    return "\n".join(lines)

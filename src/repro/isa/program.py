@@ -1,0 +1,58 @@
+"""Program container for stream-ISA instruction sequences."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.isa.spec import Instruction, Opcode
+
+
+class Program:
+    """An ordered sequence of stream instructions with line comments.
+
+    Programs are what the assembler produces and what
+    :class:`repro.arch.executor.StreamExecutor` runs.  Comments are
+    preserved per instruction index so disassembly round-trips the
+    compiler's annotations.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction] = (),
+                 name: str = "program"):
+        self.instructions: list[Instruction] = list(instructions)
+        self.comments: dict[int, str] = {}
+        self.name = name
+
+    def append(self, instr: Instruction, comment: str | None = None) -> None:
+        if comment:
+            self.comments[len(self.instructions)] = comment
+        self.instructions.append(instr)
+
+    def emit(self, opcode: Opcode, *operands, comment: str | None = None) -> None:
+        """Append a freshly-built instruction."""
+        self.append(Instruction(opcode, tuple(operands)), comment)
+
+    def extend(self, other: "Program") -> None:
+        base = len(self.instructions)
+        for idx, text in other.comments.items():
+            self.comments[base + idx] = text
+        self.instructions.extend(other.instructions)
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for i in self.instructions if i.opcode is opcode)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def __str__(self) -> str:
+        from repro.isa.assembler import disassemble
+
+        return disassemble(self)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self)} instructions)"

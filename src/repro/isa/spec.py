@@ -1,0 +1,208 @@
+"""Instruction set specification: Table 1 of the paper.
+
+Each instruction is specified by its opcode, its operand list (name,
+role) and the one-line description from the paper.  Operand *roles*
+drive both the assembler's validation and the executor's dispatch:
+
+``addr``/``vaddr``
+    a simulated memory address (key/value data),
+``len``
+    a stream length in elements,
+``sid_in``/``sid_out``/``sid_new``
+    a stream ID that is read / written-as-result / initialized,
+``prio``
+    the scratchpad priority of Section 4.2,
+``bound``
+    the early-termination upper bound (R3 of the compute ops;
+    -1 = unbounded),
+``dst``
+    a scalar destination register (written with a count/element),
+``imm``
+    the user-defined value-op selector of ``S_VINTER`` (MAC/MIN/MAX...),
+``scale``
+    an FP multiplication scale of ``S_VMERGE``,
+``gfr``
+    content loaded into a graph format register.
+
+In an operand field, programs may use either an immediate integer or a
+scalar register name (``R0``-``R31``, ``F0``-``F7``); the executor
+resolves registers at issue time, exactly as the paper's operands are
+"general purpose registers containing stream ID".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+#: Architectural "End Of Stream" value returned by ``S_FETCH`` past the
+#: end of a stream (Section 3.3).  Keys are non-negative, so -1 is free.
+EOS = -1
+
+
+class Opcode(enum.Enum):
+    """The fourteen stream instructions of Table 1."""
+
+    S_READ = "S_READ"
+    S_VREAD = "S_VREAD"
+    S_FREE = "S_FREE"
+    S_FETCH = "S_FETCH"
+    S_SUB = "S_SUB"
+    S_SUB_C = "S_SUB.C"
+    S_INTER = "S_INTER"
+    S_INTER_C = "S_INTER.C"
+    S_VINTER = "S_VINTER"
+    S_MERGE = "S_MERGE"
+    S_MERGE_C = "S_MERGE.C"
+    S_VMERGE = "S_VMERGE"
+    S_LD_GFR = "S_LD_GFR"
+    S_NESTINTER = "S_NESTINTER"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Specification of one instruction: operands and paper description."""
+
+    opcode: Opcode
+    operands: tuple[tuple[str, str], ...]  # (name, role) pairs
+    description: str
+
+    @property
+    def operand_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.operands)
+
+    @property
+    def operand_roles(self) -> tuple[str, ...]:
+        return tuple(role for _, role in self.operands)
+
+    @property
+    def arity(self) -> int:
+        return len(self.operands)
+
+
+def _spec(opcode, operands, description):
+    return InstructionSpec(opcode, tuple(operands), description)
+
+
+#: Table 1, instruction by instruction.
+INSTRUCTION_SET: dict[Opcode, InstructionSpec] = {
+    s.opcode: s
+    for s in [
+        _spec(
+            Opcode.S_READ,
+            [("addr", "addr"), ("length", "len"), ("sid", "sid_new"),
+             ("prio", "prio")],
+            "Initialize a key stream",
+        ),
+        _spec(
+            Opcode.S_VREAD,
+            [("addr", "addr"), ("length", "len"), ("sid", "sid_new"),
+             ("vaddr", "vaddr"), ("prio", "prio")],
+            "Initialize a (key,value) stream",
+        ),
+        _spec(Opcode.S_FREE, [("sid", "sid_in")], "De-allocate a stream"),
+        _spec(
+            Opcode.S_FETCH,
+            [("sid", "sid_in"), ("offset", "len"), ("dst", "dst")],
+            "Return one element of a key stream",
+        ),
+        _spec(
+            Opcode.S_SUB,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("sid_out", "sid_out"),
+             ("bound", "bound")],
+            "Subtraction of two streams (A - B)",
+        ),
+        _spec(
+            Opcode.S_SUB_C,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("dst", "dst"),
+             ("bound", "bound")],
+            "Return # of elements in subtraction of two streams",
+        ),
+        _spec(
+            Opcode.S_INTER,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("sid_out", "sid_out"),
+             ("bound", "bound")],
+            "Intersection of two streams",
+        ),
+        _spec(
+            Opcode.S_INTER_C,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("dst", "dst"),
+             ("bound", "bound")],
+            "Return # of elements in intersection of two streams",
+        ),
+        _spec(
+            Opcode.S_VINTER,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("dst", "dst"),
+             ("imm", "imm")],
+            "Sparse computation using the values of two (key,value) streams",
+        ),
+        _spec(
+            Opcode.S_MERGE,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("sid_out", "sid_out")],
+            "Merge of two streams",
+        ),
+        _spec(
+            Opcode.S_MERGE_C,
+            [("sid_a", "sid_in"), ("sid_b", "sid_in"), ("dst", "dst")],
+            "Return # of elements in merge of two streams",
+        ),
+        _spec(
+            Opcode.S_VMERGE,
+            [("scale_a", "scale"), ("scale_b", "scale"), ("sid_a", "sid_in"),
+             ("sid_b", "sid_in"), ("sid_out", "sid_out")],
+            "Sparse computation with two (key,value) streams",
+        ),
+        _spec(
+            Opcode.S_LD_GFR,
+            [("gfr0", "gfr"), ("gfr1", "gfr"), ("gfr2", "gfr")],
+            "Initialize GFRs based on graph representation",
+        ),
+        _spec(
+            Opcode.S_NESTINTER,
+            [("sid", "sid_in"), ("dst", "dst")],
+            "Nested intersection",
+        ),
+    ]
+}
+
+#: Operand values: immediates, scalar register names, or value-op names.
+Operand = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded stream instruction: opcode + positional operands."""
+
+    opcode: Opcode
+    operands: tuple[Operand, ...]
+
+    def __post_init__(self):
+        spec = INSTRUCTION_SET[self.opcode]
+        if len(self.operands) != spec.arity:
+            raise ValueError(
+                f"{self.opcode} takes {spec.arity} operands "
+                f"({', '.join(spec.operand_names)}), got {len(self.operands)}"
+            )
+
+    @property
+    def spec(self) -> InstructionSpec:
+        return INSTRUCTION_SET[self.opcode]
+
+    def operand(self, name: str) -> Operand:
+        """Look an operand up by its specification name."""
+        return self.operands[self.spec.operand_names.index(name)]
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        return f"{self.opcode} {ops}" if ops else str(self.opcode)
+
+
+def instruction(opcode: Opcode | str, *operands: Operand) -> Instruction:
+    """Convenience constructor accepting opcode mnemonics."""
+    if isinstance(opcode, str):
+        opcode = Opcode(opcode.upper().replace("S_SUB.C", "S_SUB.C"))
+    return Instruction(opcode, tuple(operands))

@@ -1,0 +1,336 @@
+"""The recording machine context.
+
+:class:`Machine` exposes the stream ISA at function-call granularity:
+``load``/``load_values`` stand in for ``S_READ``/``S_VREAD``,
+``intersect``/``subtract``/``merge`` (and ``*_count``) for the compute
+instructions, ``vinter``/``vmerge`` for the value instructions, and
+``nest_intersect`` for ``S_NESTINTER``.  Each call returns the
+functional result and appends one record to the trace; stream loads
+charge the paired CPU/SparseCore memory models at the moment the data
+would move.
+
+Kernels annotate structure the hardware exploits:
+
+* ``priority=1`` streams are scratchpad candidates (compiler-assigned
+  stream priority, Section 4.2),
+* ``with machine.burst():`` brackets independent operations (what the
+  nested-intersection translator exposes to the SUs, Section 4.6),
+* ``cpu_loop``/``sc_loop``/``scalar`` record the surrounding scalar
+  instructions each machine executes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.arch.config import SparseCoreConfig
+from repro.arch.trace import NO_BURST, OpKind, Trace
+from repro.arch.transfer import TransferModel
+from repro.errors import StreamTypeFault
+from repro.streams import ops
+from repro.streams.runstats import UNBOUNDED, analyze_pair
+from repro.streams.stream import KEY_BYTES
+
+_VALUE_BYTES = 8
+
+#: Scalar instructions the CPU's explicit inner loop needs per nested
+#: sub-intersection (loop bookkeeping, bounds check, address generation)
+#: that S_NESTINTER eliminates (Section 6.3.2).
+CPU_NESTED_LOOP_INSTRS = 8
+
+#: Scalar instructions both machines spend setting up one stream op
+#: (operand addresses, call overhead of the generated code).
+OP_SETUP_INSTRS = 4
+
+
+@dataclass
+class StreamOperand:
+    """A stream as seen by a kernel: data plus movement bookkeeping."""
+
+    keys: np.ndarray
+    values: np.ndarray | None = None
+    #: reuse-model identity of the value data (None for intermediates)
+    vgranule: tuple | None = None
+    #: pending memory-stall charges attached to the first consuming op
+    pending_cpu: float = 0.0
+    pending_sc: float = 0.0
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def has_values(self) -> bool:
+        return self.values is not None
+
+    def take_pending(self) -> tuple[float, float]:
+        cpu, sc = self.pending_cpu, self.pending_sc
+        self.pending_cpu = self.pending_sc = 0.0
+        return cpu, sc
+
+
+@dataclass
+class AppRun:
+    """Result of running one application kernel on the machine."""
+
+    name: str
+    result: object
+    trace: Trace
+    machine: "Machine"
+
+    @property
+    def count(self) -> int:
+        return int(self.result)  # type: ignore[arg-type]
+
+    def cpu_report(self, config=None):
+        """Cost this run's trace on the baseline CPU model."""
+        from repro.arch.cpu import CpuModel
+
+        return CpuModel(config).cost(self.trace)
+
+    def sparsecore_report(self, config=None):
+        """Cost this run's trace on the SparseCore model."""
+        from repro.arch.sparsecore import SparseCoreModel
+
+        return SparseCoreModel(config).cost(self.trace)
+
+    def speedup(self, config=None) -> float:
+        """SparseCore speedup over the CPU baseline on this run."""
+        return self.sparsecore_report(config).speedup_over(self.cpu_report())
+
+
+class Machine:
+    """Recording machine: functional results + cost trace."""
+
+    def __init__(self, config: SparseCoreConfig | None = None,
+                 name: str = "run", record_lengths: bool = False):
+        self.config = config or SparseCoreConfig()
+        self.trace = Trace(name)
+        self.transfer = TransferModel(self.config)
+        self._burst = NO_BURST
+        self._width = self.config.su_buffer_width
+        self.record_lengths = record_lengths
+        #: operand-length samples for the Figure 14 CDFs
+        self.length_samples: list[int] = []
+
+    # -- stream initialization (S_READ / S_VREAD) -----------------------------
+
+    def load(self, keys: np.ndarray, granule: tuple | None = None,
+             priority: int = 0) -> StreamOperand:
+        """Initialize a key stream from memory (``S_READ``).
+
+        ``granule`` identifies the memory region for reuse modelling
+        (e.g. ``("edges", graph_id, v)``); ``None`` marks data already
+        on-chip (an intermediate result)."""
+        operand = StreamOperand(keys)
+        if granule is not None:
+            cost = self.transfer.load_stream(
+                granule, keys.size * KEY_BYTES, priority)
+            operand.pending_cpu = cost.cpu_cycles
+            operand.pending_sc = cost.sc_cycles
+        return operand
+
+    def load_values(self, keys: np.ndarray, values: np.ndarray,
+                    granule: tuple | None = None,
+                    priority: int = 0) -> StreamOperand:
+        """Initialize a (key,value) stream (``S_VREAD``); values move
+        through the normal hierarchy at compute time."""
+        operand = self.load(keys, granule, priority)
+        operand.values = values
+        if granule is not None:
+            operand.vgranule = ("vals",) + granule
+        return operand
+
+    def neighbors(self, graph, v: int, priority: int = 0) -> StreamOperand:
+        """Load vertex ``v``'s edge list as a stream."""
+        return self.load(graph.neighbors(v), ("edges", id(graph), v),
+                         priority)
+
+    def reload(self, operand: StreamOperand, granule: tuple,
+               priority: int = 0) -> StreamOperand:
+        """Charge re-fetching an intermediate that spilled off-chip.
+
+        Used when generated code revisits a previously produced stream
+        after touching many others in between (e.g. the outer-product
+        dataflow cycling through all of C's row accumulators per k);
+        the LRU decides whether the data actually left the hierarchy."""
+        nbytes = operand.keys.size * KEY_BYTES
+        if operand.values is not None:
+            nbytes += operand.values.size * _VALUE_BYTES
+        cost = self.transfer.load_stream(granule, nbytes, priority)
+        operand.pending_cpu += cost.cpu_cycles
+        operand.pending_sc += cost.sc_cycles
+        return operand
+
+    # -- bursts ----------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def burst(self) -> Iterator[int]:
+        """Bracket independent operations (SU-parallel work)."""
+        prev = self._burst
+        self._burst = self.trace.new_burst()
+        try:
+            yield self._burst
+        finally:
+            self._burst = prev
+
+    # -- scalar accounting -------------------------------------------------------
+
+    def scalar(self, n: int) -> None:
+        self.trace.add_scalar(n)
+
+    def cpu_loop(self, n: int) -> None:
+        self.trace.add_cpu_scalar(n)
+
+    def sc_loop(self, n: int) -> None:
+        self.trace.add_sc_scalar(n)
+
+    # -- compute ops -------------------------------------------------------------
+
+    def _coerce(self, s) -> StreamOperand:
+        if isinstance(s, StreamOperand):
+            return s
+        return StreamOperand(np.asarray(s, dtype=np.int64))
+
+    def _record(self, kind: OpKind, a: StreamOperand, b: StreamOperand,
+                bound: int, *, nested: bool = False,
+                flop_pairs: int = 0, extra_mem: tuple[float, float] = (0, 0)):
+        stats = analyze_pair(a.keys, b.keys, bound, width=self._width)
+        cpu_a, sc_a = a.take_pending()
+        cpu_b, sc_b = b.take_pending()
+        self.trace.add_op(
+            kind, stats, burst=self._burst, nested=nested,
+            cpu_mem=cpu_a + cpu_b + extra_mem[0],
+            sc_mem=sc_a + sc_b + extra_mem[1],
+            flop_pairs=flop_pairs,
+        )
+        self.trace.add_scalar(OP_SETUP_INSTRS)
+        if self.record_lengths:
+            self.length_samples.append(len(a))
+            self.length_samples.append(len(b))
+        return stats
+
+    def intersect(self, a, b, bound: int = UNBOUNDED) -> StreamOperand:
+        a, b = self._coerce(a), self._coerce(b)
+        self._record(OpKind.INTERSECT, a, b, bound)
+        return StreamOperand(ops.intersect(a.keys, b.keys, bound))
+
+    def intersect_count(self, a, b, bound: int = UNBOUNDED) -> int:
+        a, b = self._coerce(a), self._coerce(b)
+        stats = self._record(OpKind.INTERSECT, a, b, bound)
+        return stats.intersect_len
+
+    def subtract(self, a, b, bound: int = UNBOUNDED) -> StreamOperand:
+        a, b = self._coerce(a), self._coerce(b)
+        self._record(OpKind.SUBTRACT, a, b, bound)
+        return StreamOperand(ops.subtract(a.keys, b.keys, bound))
+
+    def subtract_count(self, a, b, bound: int = UNBOUNDED) -> int:
+        a, b = self._coerce(a), self._coerce(b)
+        stats = self._record(OpKind.SUBTRACT, a, b, bound)
+        return stats.subtract_len
+
+    def merge(self, a, b) -> StreamOperand:
+        a, b = self._coerce(a), self._coerce(b)
+        self._record(OpKind.MERGE, a, b, UNBOUNDED)
+        return StreamOperand(ops.merge(a.keys, b.keys))
+
+    def merge_count(self, a, b) -> int:
+        a, b = self._coerce(a), self._coerce(b)
+        stats = self._record(OpKind.MERGE, a, b, UNBOUNDED)
+        return stats.merge_len
+
+    # -- value ops ------------------------------------------------------------------
+
+    def _require_values(self, s: StreamOperand) -> np.ndarray:
+        if s.values is None:
+            raise StreamTypeFault(
+                "a (key,value) stream is required for value computation"
+            )
+        return s.values
+
+    def _gather_values(self, operand: StreamOperand,
+                       n_elems: int) -> tuple[float, float]:
+        """Charge a value gather of ``n_elems`` floats for one operand.
+
+        Only memory-backed value streams (``S_VREAD``) are charged:
+        produced intermediates live on-chip (vBuf / S-Cache) until the
+        generated code explicitly spills them (:meth:`reload`)."""
+        if n_elems <= 0 or operand.vgranule is None:
+            return 0.0, 0.0
+        cost = self.transfer.load_values(operand.vgranule,
+                                         n_elems * _VALUE_BYTES)
+        return cost.cpu_cycles, cost.sc_cycles
+
+    def vinter(self, a: StreamOperand, b: StreamOperand,
+               op: str = "MAC", bound: int = UNBOUNDED) -> float:
+        """``S_VINTER``: reduce over value pairs of intersected keys."""
+        av, bv = self._require_values(a), self._require_values(b)
+        stats = analyze_pair(a.keys, b.keys, bound, width=self._width)
+        ga = self._gather_values(a, stats.n_matches)
+        gb = self._gather_values(b, stats.n_matches)
+        gather = (ga[0] + gb[0], ga[1] + gb[1])
+        cpu_a, sc_a = a.take_pending()
+        cpu_b, sc_b = b.take_pending()
+        self.trace.add_op(
+            OpKind.VINTER, stats, burst=self._burst,
+            cpu_mem=cpu_a + cpu_b + gather[0],
+            sc_mem=sc_a + sc_b + gather[1],
+            flop_pairs=stats.n_matches,
+        )
+        self.trace.add_scalar(OP_SETUP_INSTRS)
+        return ops.vinter(a.keys, av, b.keys, bv, op, bound)
+
+    def vmerge(self, alpha: float, a: StreamOperand,
+               beta: float, b: StreamOperand) -> StreamOperand:
+        """``S_VMERGE``: scaled sparse addition producing a new stream."""
+        av, bv = self._require_values(a), self._require_values(b)
+        stats = analyze_pair(a.keys, b.keys, width=self._width)
+        n_out = stats.merge_len
+        ga = self._gather_values(a, len(a))
+        gb = self._gather_values(b, len(b))
+        gather = (ga[0] + gb[0], ga[1] + gb[1])
+        cpu_a, sc_a = a.take_pending()
+        cpu_b, sc_b = b.take_pending()
+        self.trace.add_op(
+            OpKind.VMERGE, stats, burst=self._burst,
+            cpu_mem=cpu_a + cpu_b + gather[0],
+            sc_mem=sc_a + sc_b + gather[1],
+            flop_pairs=n_out,
+        )
+        self.trace.add_scalar(OP_SETUP_INSTRS)
+        keys, vals = ops.vmerge(alpha, a.keys, av, beta, b.keys, bv)
+        return StreamOperand(keys, vals)
+
+    # -- nested intersection (S_NESTINTER) ------------------------------------------
+
+    def nest_intersect(self, s: StreamOperand, graph) -> int:
+        """``S_NESTINTER``: sum of |S ∩ N(s_i)| bounded by each s_i.
+
+        The dependent edge-list streams are generated by the processor
+        from the GFRs; the translator's sub-ops all share one burst and
+        carry no scalar loop overhead on SparseCore (the CPU runs the
+        explicit loop instead)."""
+        s = self._coerce(s)
+        total = 0
+        cpu_pend, sc_pend = s.take_pending()
+        with self.burst():
+            for s_i in s.keys.tolist():
+                nbr = self.neighbors(graph, s_i)
+                stats = analyze_pair(s.keys, nbr.keys, bound=s_i,
+                                     width=self._width)
+                cpu_n, sc_n = nbr.take_pending()
+                self.trace.add_op(
+                    OpKind.INTERSECT, stats, burst=self._burst, nested=True,
+                    cpu_mem=cpu_n + cpu_pend, sc_mem=sc_n + sc_pend,
+                )
+                cpu_pend = sc_pend = 0.0
+                self.trace.add_cpu_scalar(CPU_NESTED_LOOP_INSTRS)
+                if self.record_lengths:
+                    self.length_samples.append(len(s))
+                    self.length_samples.append(len(nbr))
+                total += stats.n_matches
+        return total

@@ -1,0 +1,54 @@
+"""Stream abstraction: sparse vectors as first-class objects.
+
+Section 3.1 of the paper defines a *stream* as a sparse vector that is
+either a **key stream** (a sorted list of keys, e.g. a CSR edge list) or a
+**(key,value) stream** (sorted keys paired with values, e.g. the
+coordinates and values of a sparse tensor fiber).
+
+This package provides:
+
+* :class:`~repro.streams.stream.Stream` and
+  :class:`~repro.streams.stream.ValueStream` — validated containers.
+* :mod:`repro.streams.ops` — the functional semantics of every stream
+  computation instruction (intersection, subtraction, merge, counting
+  variants, bounded early termination, and the value computations of
+  ``S_VINTER``/``S_VMERGE``).
+* :mod:`repro.streams.runstats` — vectorised *merge-run analysis*: the
+  structural statistics of a pair of streams (union size, match count,
+  run-length structure of the merge path) from which every machine model
+  in :mod:`repro.arch` and :mod:`repro.accel` derives cycle counts.
+"""
+
+from repro.streams.stream import Stream, ValueStream, as_keys
+from repro.streams.ops import (
+    UNBOUNDED,
+    intersect,
+    intersect_count,
+    subtract,
+    subtract_count,
+    merge,
+    merge_count,
+    vinter,
+    vmerge,
+    ValueOp,
+)
+from repro.streams.runstats import OpStats, analyze_pair, SU_BUFFER_WIDTH
+
+__all__ = [
+    "Stream",
+    "ValueStream",
+    "as_keys",
+    "UNBOUNDED",
+    "intersect",
+    "intersect_count",
+    "subtract",
+    "subtract_count",
+    "merge",
+    "merge_count",
+    "vinter",
+    "vmerge",
+    "ValueOp",
+    "OpStats",
+    "analyze_pair",
+    "SU_BUFFER_WIDTH",
+]

@@ -1,0 +1,186 @@
+"""Functional semantics of the stream computation instructions.
+
+These are the ground-truth kernels behind ``S_INTER``/``S_SUB``/
+``S_MERGE`` (and their ``.C`` counting variants), ``S_VINTER`` and
+``S_VMERGE`` (Table 1 of the paper).  They operate on plain sorted
+``int64`` key arrays (plus ``float64`` value arrays for the value ops) —
+the representation CSR edge lists and sparse fibers already use — so the
+machine layer can call them with zero-copy slices.  The
+:class:`~repro.streams.stream.Stream` classes offer thin object-level
+wrappers.
+
+Upper bounds implement the paper's *early termination* (Section 2.2):
+``bound >= 0`` restricts the output to keys strictly below ``bound``;
+``bound = UNBOUNDED`` (-1) disables it, exactly as the ISA's R3 operand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.runstats import UNBOUNDED, truncate_bound
+
+__all__ = [
+    "UNBOUNDED",
+    "intersect",
+    "intersect_count",
+    "subtract",
+    "subtract_count",
+    "merge",
+    "merge_count",
+    "vinter",
+    "vmerge",
+    "ValueOp",
+]
+
+
+def _match_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``a`` marking keys that also occur in ``b``."""
+    if a.size == 0 or b.size == 0:
+        return np.zeros(a.size, dtype=bool)
+    idx = np.searchsorted(b, a)
+    mask = idx < b.size
+    mask[mask] = b[idx[mask]] == a[mask]
+    return mask
+
+
+def intersect(a: np.ndarray, b: np.ndarray, bound: int = UNBOUNDED) -> np.ndarray:
+    """Sorted intersection of two sorted key arrays (``S_INTER``)."""
+    a = truncate_bound(a, bound)
+    b = truncate_bound(b, bound)
+    return a[_match_mask(a, b)]
+
+
+def intersect_count(a: np.ndarray, b: np.ndarray, bound: int = UNBOUNDED) -> int:
+    """Number of common keys (``S_INTER.C``)."""
+    a = truncate_bound(a, bound)
+    b = truncate_bound(b, bound)
+    return int(np.count_nonzero(_match_mask(a, b)))
+
+
+def subtract(a: np.ndarray, b: np.ndarray, bound: int = UNBOUNDED) -> np.ndarray:
+    """Sorted difference ``a - b`` (``S_SUB``)."""
+    a = truncate_bound(a, bound)
+    b = truncate_bound(b, bound)
+    return a[~_match_mask(a, b)]
+
+
+def subtract_count(a: np.ndarray, b: np.ndarray, bound: int = UNBOUNDED) -> int:
+    """Number of keys in ``a - b`` (``S_SUB.C``)."""
+    a = truncate_bound(a, bound)
+    b = truncate_bound(b, bound)
+    return int(np.count_nonzero(~_match_mask(a, b)))
+
+
+def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted union of two sorted key arrays (``S_MERGE``)."""
+    return np.union1d(a, b)
+
+
+def merge_count(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of keys in the union (``S_MERGE.C``)."""
+    return int(merge(a, b).size)
+
+
+class ValueOp:
+    """A reduction operator for ``S_VINTER`` (the IMM operand).
+
+    The paper's SVPU performs a commutative reduction over the value
+    pairs of intersected keys: multiply-accumulate by default, with MAX
+    ("choose the maximum and accumulate"), MIN, "or any reduction
+    operation".  New operations register themselves by name, mirroring
+    how the dedicated functional unit "can be easily extended to perform
+    new operations".
+    """
+
+    _registry: Dict[str, "ValueOp"] = {}
+
+    def __init__(
+        self,
+        name: str,
+        combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        *,
+        flops_per_pair: int = 2,
+    ):
+        self.name = name
+        self.combine = combine
+        self.flops_per_pair = flops_per_pair
+
+    def __repr__(self) -> str:
+        return f"ValueOp({self.name!r})"
+
+    @classmethod
+    def register(cls, name: str, combine, *, flops_per_pair: int = 2) -> "ValueOp":
+        op = cls(name, combine, flops_per_pair=flops_per_pair)
+        cls._registry[name.upper()] = op
+        return op
+
+    @classmethod
+    def by_name(cls, name: str) -> "ValueOp":
+        try:
+            return cls._registry[name.upper()]
+        except KeyError:
+            raise StreamError(f"unknown value op {name!r}") from None
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return sorted(cls._registry)
+
+
+MAC = ValueOp.register("MAC", lambda va, vb: va * vb, flops_per_pair=2)
+MAX = ValueOp.register("MAX", np.maximum, flops_per_pair=2)
+MIN = ValueOp.register("MIN", np.minimum, flops_per_pair=2)
+
+
+def vinter(
+    a_keys: np.ndarray,
+    a_vals: np.ndarray,
+    b_keys: np.ndarray,
+    b_vals: np.ndarray,
+    op: ValueOp | str = MAC,
+    bound: int = UNBOUNDED,
+) -> float:
+    """Intersect keys, combine the matched value pairs, and accumulate.
+
+    This is ``S_VINTER``: e.g. with MAC it computes the sparse dot
+    product of two (key,value) streams.
+    """
+    if isinstance(op, str):
+        op = ValueOp.by_name(op)
+    a_keys_eff = truncate_bound(a_keys, bound)
+    b_keys_eff = truncate_bound(b_keys, bound)
+    a_vals = a_vals[: a_keys_eff.size]
+    b_vals = b_vals[: b_keys_eff.size]
+    mask_a = _match_mask(a_keys_eff, b_keys_eff)
+    if not mask_a.any():
+        return 0.0
+    pos_in_b = np.searchsorted(b_keys_eff, a_keys_eff[mask_a])
+    combined = op.combine(a_vals[mask_a], b_vals[pos_in_b])
+    return float(np.sum(combined))
+
+
+def vmerge(
+    alpha: float,
+    a_keys: np.ndarray,
+    a_vals: np.ndarray,
+    beta: float,
+    b_keys: np.ndarray,
+    b_vals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled sparse vector addition ``alpha*A + beta*B`` (``S_VMERGE``).
+
+    Returns the merged key array and the combined value array, matching
+    the paper's worked example: merging ``[(1,4),(3,21)]`` and
+    ``[(1,1),(5,36)]`` with scales 2 and 3 yields
+    ``[(1,11),(3,42),(5,108)]``.
+    """
+    out_keys = np.union1d(a_keys, b_keys)
+    out_vals = np.zeros(out_keys.size, dtype=np.float64)
+    if a_keys.size:
+        np.add.at(out_vals, np.searchsorted(out_keys, a_keys), alpha * a_vals)
+    if b_keys.size:
+        np.add.at(out_vals, np.searchsorted(out_keys, b_keys), beta * b_vals)
+    return out_keys, out_vals

@@ -1,0 +1,179 @@
+"""Stream containers.
+
+A stream wraps a strictly-increasing ``int64`` key array (and, for
+(key,value) streams, a parallel ``float64`` value array).  Strict
+monotonicity is the architectural contract the Stream Unit's parallel
+comparison relies on; constructors validate it eagerly so downstream
+models never have to re-check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import StreamLengthMismatchError, UnsortedStreamError
+
+KEY_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+#: Bytes per key in the S-Cache (the paper's 64-key slot is 256 bytes).
+KEY_BYTES = 4
+
+
+def as_keys(data: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Coerce ``data`` to a contiguous int64 key array (no sorting)."""
+    arr = np.ascontiguousarray(np.asarray(data, dtype=KEY_DTYPE))
+    if arr.ndim != 1:
+        raise UnsortedStreamError(f"keys must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def _check_sorted(keys: np.ndarray) -> None:
+    if keys.size > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+        raise UnsortedStreamError(
+            "stream keys must be strictly increasing (sorted, no duplicates)"
+        )
+
+
+class Stream:
+    """A key stream: a sorted, duplicate-free list of integer keys.
+
+    Parameters
+    ----------
+    keys:
+        Strictly increasing integers (any iterable or numpy array).
+    validate:
+        When False, skip the monotonicity check.  Internal call sites that
+        construct results from already-sorted computations use this to
+        avoid redundant O(n) scans.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys: Iterable[int] | np.ndarray, *, validate: bool = True):
+        arr = as_keys(keys)
+        if validate:
+            _check_sorted(arr)
+        self.keys = arr
+
+    @classmethod
+    def from_unsorted(cls, keys: Iterable[int] | np.ndarray) -> "Stream":
+        """Build a stream from arbitrary keys by sorting and deduplicating."""
+        return cls(np.unique(as_keys(keys)), validate=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Architectural footprint of the key data (4 bytes per key)."""
+        return self.keys.size * KEY_BYTES
+
+    def has_values(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.keys.tolist())
+
+    def __getitem__(self, idx: int) -> int:
+        return int(self.keys[idx])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stream):
+            return NotImplemented
+        if other.has_values() != self.has_values():
+            return False
+        return bool(np.array_equal(self.keys, other.keys))
+
+    def __hash__(self) -> int:  # streams are mutable-array wrappers
+        raise TypeError("Stream objects are unhashable")
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(k) for k in self.keys[:6].tolist())
+        ell = ", ..." if len(self) > 6 else ""
+        return f"{type(self).__name__}([{head}{ell}], len={len(self)})"
+
+    # -- convenience wrappers over repro.streams.ops ---------------------
+
+    def intersect(self, other: "Stream", bound: int = -1) -> "Stream":
+        """Sorted intersection with ``other`` (optionally bounded)."""
+        from repro.streams import ops
+
+        return Stream(ops.intersect(self.keys, other.keys, bound), validate=False)
+
+    def subtract(self, other: "Stream", bound: int = -1) -> "Stream":
+        """Sorted difference ``self - other`` (optionally bounded)."""
+        from repro.streams import ops
+
+        return Stream(ops.subtract(self.keys, other.keys, bound), validate=False)
+
+    def merge(self, other: "Stream") -> "Stream":
+        """Sorted union with ``other``."""
+        from repro.streams import ops
+
+        return Stream(ops.merge(self.keys, other.keys), validate=False)
+
+
+class ValueStream(Stream):
+    """A (key,value) stream: sorted keys with parallel float values."""
+
+    __slots__ = ("values",)
+
+    def __init__(
+        self,
+        keys: Iterable[int] | np.ndarray,
+        values: Iterable[float] | np.ndarray,
+        *,
+        validate: bool = True,
+    ):
+        super().__init__(keys, validate=validate)
+        vals = np.ascontiguousarray(np.asarray(values, dtype=VALUE_DTYPE))
+        if vals.shape != self.keys.shape:
+            raise StreamLengthMismatchError(
+                f"{self.keys.size} keys but {vals.size} values"
+            )
+        self.values = vals
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "ValueStream":
+        """Build from an iterable of (key, value) pairs (must be sorted)."""
+        items = list(pairs)
+        keys = [k for k, _ in items]
+        values = [v for _, v in items]
+        return cls(keys, values)
+
+    def has_values(self) -> bool:
+        return True
+
+    def pairs(self) -> list[tuple[int, float]]:
+        return list(zip(self.keys.tolist(), self.values.tolist()))
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or base is False:
+            return base
+        assert isinstance(other, ValueStream)
+        return bool(np.allclose(self.values, other.values))
+
+    __hash__ = Stream.__hash__
+
+    # -- convenience wrappers over repro.streams.ops ---------------------
+
+    def dot(self, other: "ValueStream", op: str = "MAC", bound: int = -1) -> float:
+        """``S_VINTER``: combine values on intersected keys and accumulate."""
+        from repro.streams import ops
+
+        return ops.vinter(
+            self.keys, self.values, other.keys, other.values, op, bound
+        )
+
+    def axpy(self, alpha: float, other: "ValueStream", beta: float) -> "ValueStream":
+        """``S_VMERGE``: scaled sparse addition ``alpha*self + beta*other``."""
+        from repro.streams import ops
+
+        keys, vals = ops.vmerge(
+            alpha, self.keys, self.values, beta, other.keys, other.values
+        )
+        return ValueStream(keys, vals, validate=False)

@@ -1,0 +1,36 @@
+"""Sparse tensor substrate: CSR/CSC matrices, CSF tensors, datasets.
+
+Sparse matrices are stored in CSR with parallel value arrays — each row
+is exactly a (key,value) stream in the paper's sense, so the tensor
+kernels in :mod:`repro.tensorops` can hand zero-copy row slices straight
+to the stream machinery.  Third-order tensors use the compressed sparse
+fiber (CSF) format, whose innermost fibers are again (key,value)
+streams.
+
+:mod:`repro.tensor.datasets` provides the seeded synthetic stand-ins
+for Table 5's eleven SuiteSparse matrices and two FROSTT tensors.
+"""
+
+from repro.tensor.matrix import SparseMatrix
+from repro.tensor.csf import CSFTensor
+from repro.tensor.datasets import (
+    MATRIX_REGISTRY,
+    TENSOR_REGISTRY,
+    load_matrix,
+    load_tensor,
+    matrix_names,
+    table5_rows,
+    tensor_names,
+)
+
+__all__ = [
+    "SparseMatrix",
+    "CSFTensor",
+    "MATRIX_REGISTRY",
+    "TENSOR_REGISTRY",
+    "load_matrix",
+    "load_tensor",
+    "matrix_names",
+    "tensor_names",
+    "table5_rows",
+]

@@ -1,0 +1,113 @@
+"""Compressed sparse fiber (CSF) third-order tensors.
+
+The CSF layout nests three compressed levels (i -> j -> k); the
+innermost (j,k-fiber) level is a (key,value) stream, which is what the
+paper's TTV and TTM kernels feed to ``S_VREAD``/``S_VINTER``/
+``S_VMERGE``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StreamError
+
+
+class CSFTensor:
+    """A 3-mode sparse tensor in CSF order (i, j, k).
+
+    Levels:
+
+    * ``i_keys``: sorted distinct i coordinates with nonzeros.
+    * ``j_ptr``/``j_keys``: per-i compressed j coordinates.
+    * ``k_ptr``/``k_keys``/``vals``: per-(i,j) fiber of (k, value).
+    """
+
+    __slots__ = ("shape", "i_keys", "j_ptr", "j_keys", "k_ptr", "k_keys",
+                 "vals", "name")
+
+    def __init__(self, shape, i_keys, j_ptr, j_keys, k_ptr, k_keys, vals,
+                 name: str = "tensor"):
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != 3:
+            raise StreamError("CSFTensor is strictly 3-mode")
+        self.i_keys = np.ascontiguousarray(i_keys, dtype=np.int64)
+        self.j_ptr = np.ascontiguousarray(j_ptr, dtype=np.int64)
+        self.j_keys = np.ascontiguousarray(j_keys, dtype=np.int64)
+        self.k_ptr = np.ascontiguousarray(k_ptr, dtype=np.int64)
+        self.k_keys = np.ascontiguousarray(k_keys, dtype=np.int64)
+        self.vals = np.ascontiguousarray(vals, dtype=np.float64)
+        if self.j_ptr.size != self.i_keys.size + 1:
+            raise StreamError("j_ptr must have len(i_keys)+1 entries")
+        if self.k_ptr.size != self.j_keys.size + 1:
+            raise StreamError("k_ptr must have len(j_keys)+1 entries")
+        if self.k_keys.size != self.vals.size:
+            raise StreamError("k_keys and vals must align")
+        self.name = name
+
+    @classmethod
+    def from_coo(cls, shape, coords: np.ndarray, vals: np.ndarray,
+                 name: str = "tensor") -> "CSFTensor":
+        """Build from ``coords`` of shape (nnz, 3); duplicates are summed."""
+        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 3)
+        vals = np.asarray(vals, dtype=np.float64)
+        if coords.shape[0] != vals.size:
+            raise StreamError("coords/vals length mismatch")
+        si, sj, sk = (int(s) for s in shape)
+        if coords.size and (
+            coords.min() < 0
+            or coords[:, 0].max() >= si
+            or coords[:, 1].max() >= sj
+            or coords[:, 2].max() >= sk
+        ):
+            raise StreamError("tensor coordinate out of range")
+        packed = (coords[:, 0] * sj + coords[:, 1]) * sk + coords[:, 2]
+        uniq, inverse = np.unique(packed, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(summed, inverse, vals)
+        k = uniq % sk
+        ij = uniq // sk
+        j = ij % sj
+        i = ij // sj
+        # Compress level i.
+        i_keys = np.unique(i)
+        # Compress level j within each i.
+        ij_uniq, ij_starts = np.unique(ij, return_index=True)
+        j_keys = ij_uniq % sj
+        j_ptr = np.searchsorted(ij_uniq // sj, i_keys, side="left")
+        j_ptr = np.concatenate([j_ptr, [ij_uniq.size]])
+        k_ptr = np.concatenate([ij_starts, [uniq.size]])
+        return cls((si, sj, sk), i_keys, j_ptr, j_keys, k_ptr, k, summed,
+                   name=name)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1] * self.shape[2]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def num_fibers(self) -> int:
+        return int(self.j_keys.size)
+
+    def fibers(self) -> Iterator[tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield (i, j, k_keys, k_vals) for every nonzero fiber."""
+        for ii, i in enumerate(self.i_keys.tolist()):
+            for jj in range(int(self.j_ptr[ii]), int(self.j_ptr[ii + 1])):
+                lo, hi = int(self.k_ptr[jj]), int(self.k_ptr[jj + 1])
+                yield i, int(self.j_keys[jj]), self.k_keys[lo:hi], self.vals[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        for i, j, kk, vv in self.fibers():
+            out[i, j, kk] = vv
+        return out
+
+    def __repr__(self) -> str:
+        s = "x".join(str(d) for d in self.shape)
+        return f"CSFTensor({self.name!r}, {s}, nnz={self.nnz})"

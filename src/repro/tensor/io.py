@@ -1,0 +1,105 @@
+"""Tensor I/O: MatrixMarket matrices and FROSTT tensors.
+
+Table 5's matrices ship from SuiteSparse as MatrixMarket ``.mtx`` files
+and its tensors from FROSTT as ``.tns`` coordinate files.  These
+readers/writers let a user run the tensor experiments on the real
+datasets when they have them locally.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.tensor.csf import CSFTensor
+from repro.tensor.matrix import SparseMatrix
+
+
+def load_matrix_market(path, name: str | None = None) -> SparseMatrix:
+    """Read a MatrixMarket coordinate file (``%%MatrixMarket matrix
+    coordinate real/integer/pattern general/symmetric``)."""
+    path = pathlib.Path(path)
+    with open(path) as fh:
+        header = fh.readline()
+        if not header.lower().startswith("%%matrixmarket"):
+            raise DatasetError(f"{path}: missing MatrixMarket header")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise DatasetError(f"{path}: only coordinate format supported")
+        pattern = "pattern" in tokens
+        symmetric = "symmetric" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            rows_n, cols_n, nnz = (int(x) for x in line.split())
+        except ValueError:
+            raise DatasetError(f"{path}: bad size line {line!r}") from None
+        r, c, v = [], [], []
+        for _ in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}: truncated entry list")
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1  # 1-based
+            val = 1.0 if pattern else float(parts[2])
+            r.append(i)
+            c.append(j)
+            v.append(val)
+            if symmetric and i != j:
+                r.append(j)
+                c.append(i)
+                v.append(val)
+    return SparseMatrix.from_coo((rows_n, cols_n), r, c, v,
+                                 name=name or path.stem)
+
+
+def save_matrix_market(matrix: SparseMatrix, path) -> None:
+    """Write a general real coordinate MatrixMarket file."""
+    path = pathlib.Path(path)
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"% {matrix.name}\n")
+        fh.write(f"{matrix.shape[0]} {matrix.shape[1]} {matrix.nnz}\n")
+        for i in range(matrix.shape[0]):
+            keys = matrix.row_keys(i)
+            vals = matrix.row_vals(i)
+            for j, val in zip(keys.tolist(), vals.tolist()):
+                fh.write(f"{i + 1} {j + 1} {val:.17g}\n")
+
+
+def load_frostt(path, shape: tuple[int, int, int] | None = None,
+                name: str | None = None) -> CSFTensor:
+    """Read a FROSTT ``.tns`` coordinate file (3-mode, 1-based)."""
+    path = pathlib.Path(path)
+    coords, vals = [], []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 'i j k value' "
+                    f"(3-mode tensors only)")
+            coords.append([int(parts[0]) - 1, int(parts[1]) - 1,
+                           int(parts[2]) - 1])
+            vals.append(float(parts[3]))
+    arr = np.asarray(coords, dtype=np.int64).reshape(-1, 3)
+    if shape is None:
+        if arr.size == 0:
+            raise DatasetError(f"{path}: empty tensor needs explicit shape")
+        shape = tuple(int(x) + 1 for x in arr.max(axis=0))
+    return CSFTensor.from_coo(shape, arr, np.asarray(vals),
+                              name=name or path.stem)
+
+
+def save_frostt(tensor: CSFTensor, path) -> None:
+    """Write a 3-mode tensor as a FROSTT ``.tns`` file (1-based)."""
+    path = pathlib.Path(path)
+    with open(path, "w") as fh:
+        for i, j, k_keys, k_vals in tensor.fibers():
+            for k, val in zip(k_keys.tolist(), k_vals.tolist()):
+                fh.write(f"{i + 1} {j + 1} {k + 1} {val:.17g}\n")

@@ -1,0 +1,153 @@
+"""CSR sparse matrices whose rows are (key,value) streams."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.stream import ValueStream
+
+
+class SparseMatrix:
+    """A sparse matrix in CSR form with float64 values.
+
+    ``row_keys(i)`` / ``row_vals(i)`` return the column indices and
+    values of row ``i`` as zero-copy slices — exactly the (key,value)
+    stream that ``S_VREAD`` initializes in the paper.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data", "name")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        name: str = "matrix",
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        if self.indptr.size != self.shape[0] + 1:
+            raise StreamError("indptr must have shape[0]+1 entries")
+        if (int(self.indptr[-1]) != self.indices.size
+                or self.indices.size != self.data.size):
+            raise StreamError("indices/data length must match indptr[-1]")
+        self.name = name
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls,
+        shape: tuple[int, int],
+        rows: Iterable[int],
+        cols: Iterable[int],
+        vals: Iterable[float],
+        name: str = "matrix",
+    ) -> "SparseMatrix":
+        """Build from COO triplets; duplicate coordinates are summed."""
+        r = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows,
+                       dtype=np.int64)
+        c = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols,
+                       dtype=np.int64)
+        v = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals,
+                       dtype=np.float64)
+        if not (r.size == c.size == v.size):
+            raise StreamError("COO arrays must have equal length")
+        if r.size and (r.min() < 0 or r.max() >= shape[0]
+                       or c.min() < 0 or c.max() >= shape[1]):
+            raise StreamError("COO coordinate out of range")
+        packed = r * np.int64(shape[1]) + c
+        order = np.argsort(packed, kind="stable")
+        packed, v = packed[order], v[order]
+        uniq, inverse = np.unique(packed, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(summed, inverse, v)
+        rr = uniq // shape[1]
+        cc = uniq % shape[1]
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rr + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(shape, indptr, cc, summed, name=name)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, name: str = "matrix") -> "SparseMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(dense.shape, rows, cols, dense[rows, cols], name=name)
+
+    @classmethod
+    def from_scipy(cls, mat, name: str = "matrix") -> "SparseMatrix":
+        """Convert from any scipy.sparse matrix (testing helper)."""
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(csr.shape, csr.indptr, csr.indices, csr.data, name=name)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        m, n = self.shape
+        return self.nnz / (m * n) if m and n else 0.0
+
+    @property
+    def avg_nnz_per_row(self) -> float:
+        return self.nnz / self.shape[0] if self.shape[0] else 0.0
+
+    def row_keys(self, i: int) -> np.ndarray:
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_vals(self, i: int) -> np.ndarray:
+        return self.data[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_stream(self, i: int) -> ValueStream:
+        return ValueStream(self.row_keys(i), self.row_vals(i), validate=False)
+
+    def row_nnz(self, i: int) -> int:
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    # -- transforms -----------------------------------------------------------
+
+    def transpose(self) -> "SparseMatrix":
+        """CSR of the transpose (i.e. a CSC view of this matrix)."""
+        m, n = self.shape
+        rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
+        return SparseMatrix.from_coo(
+            (n, m), self.indices, rows, self.data, name=f"{self.name}.T"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        m = self.shape[0]
+        rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.data, other.data)
+        )
+
+    def __hash__(self):
+        raise TypeError("SparseMatrix objects are unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseMatrix({self.name!r}, {self.shape[0]}x{self.shape[1]}, "
+            f"nnz={self.nnz}, density={self.density:.4%})"
+        )

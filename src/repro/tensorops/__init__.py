@@ -1,0 +1,32 @@
+"""Sparse tensor kernels on the stream machine.
+
+The three spmspm dataflows the paper evaluates (inner-product,
+outer-product, Gustavson), tensor-times-vector and tensor-times-matrix,
+all built on ``S_VINTER``/``S_VMERGE`` via the recording machine — plus
+a miniature TACO-style tensor-algebra compiler
+(:mod:`repro.tensorops.taco`) that turns index-notation expressions
+into these kernels and their stream-ISA assembly.
+"""
+
+from repro.tensorops.spmspm import (
+    spmspm_dense_reference,
+    spmspm_gustavson,
+    spmspm_inner,
+    spmspm_outer,
+)
+from repro.tensorops.ttv import ttv, ttv_dense_reference
+from repro.tensorops.ttm import ttm, ttm_dense_reference
+from repro.tensorops.taco import TensorCompiler, compile_expression
+
+__all__ = [
+    "spmspm_inner",
+    "spmspm_outer",
+    "spmspm_gustavson",
+    "spmspm_dense_reference",
+    "ttv",
+    "ttv_dense_reference",
+    "ttm",
+    "ttm_dense_reference",
+    "TensorCompiler",
+    "compile_expression",
+]

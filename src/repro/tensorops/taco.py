@@ -1,0 +1,166 @@
+"""A miniature TACO-style tensor algebra compiler.
+
+The paper modifies TACO to emit stream instructions for its tensor
+kernels (Section 5.3).  This module provides the equivalent front end
+for the evaluated kernel family: it parses index-notation expressions
+like ``"C(i,j) = A(i,k) * B(k,j)"``, classifies the contraction, picks
+the loop order (spmspm chooses among the three dataflows), and binds
+the corresponding stream kernel — plus emits the stream-ISA assembly of
+the kernel's inner loop, in the style of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CompilerError
+from repro.isa.program import Program
+from repro.isa.spec import Opcode
+from repro.machine.context import Machine
+from repro.tensorops.spmspm import spmspm_gustavson, spmspm_inner, spmspm_outer
+from repro.tensorops.ttm import ttm as _ttm
+from repro.tensorops.ttv import ttv as _ttv
+
+_REF = re.compile(r"\s*([A-Za-z_]\w*)\s*\(\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)\s*\)\s*")
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    name: str
+    indices: tuple[str, ...]
+
+    @property
+    def order(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Parsed ``out = lhs * rhs`` index expression."""
+
+    output: TensorRef
+    lhs: TensorRef
+    rhs: TensorRef
+
+    @property
+    def contracted(self) -> tuple[str, ...]:
+        inputs = set(self.lhs.indices) | set(self.rhs.indices)
+        return tuple(sorted(inputs - set(self.output.indices)))
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse ``"C(i,j) = A(i,k) * B(k,j)"``-style expressions."""
+    try:
+        out_text, rhs_text = text.split("=")
+        lhs_text, rhs2_text = rhs_text.split("*")
+    except ValueError:
+        raise CompilerError(
+            f"expected '<out> = <lhs> * <rhs>', got {text!r}") from None
+    refs = []
+    for part in (out_text, lhs_text, rhs2_text):
+        match = _REF.fullmatch(part)
+        if not match:
+            raise CompilerError(f"cannot parse tensor reference {part!r}")
+        name, idx = match.groups()
+        refs.append(TensorRef(name, tuple(i.strip() for i in idx.split(","))))
+    out, lhs, rhs = refs
+    for ref in refs:
+        if len(set(ref.indices)) != len(ref.indices):
+            raise CompilerError(f"repeated index in {ref.name}")
+    dangling = set(out.indices) - (set(lhs.indices) | set(rhs.indices))
+    if dangling:
+        raise CompilerError(f"output indices {sorted(dangling)} unbound")
+    return Expression(out, lhs, rhs)
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """A bound kernel: callable + classification + assembly."""
+
+    expression: Expression
+    kind: str           # "spmspm" | "ttv" | "ttm"
+    dataflow: str       # spmspm: "inner"|"outer"|"gustavson"; else ""
+    runner: Callable
+
+    def run(self, lhs, rhs, machine: Machine | None = None):
+        """Execute the kernel on concrete operands."""
+        return self.runner(lhs, rhs, machine)
+
+    def assembly(self) -> Program:
+        """Stream-ISA inner loop (paper Figure 4 style)."""
+        program = Program(name=f"{self.kind}-{self.dataflow or 'kernel'}")
+        if self.kind == "spmspm" and self.dataflow == "inner":
+            program.emit(Opcode.S_VREAD, "R8", "R9", 1, "R11", "R12",
+                         comment="row of A")
+            program.emit(Opcode.S_VREAD, "R8", "R9", 2, "R11", "R12",
+                         comment="column of B")
+            program.emit(Opcode.S_VINTER, 1, 2, "R10", "MAC",
+                         comment="C[i,j] dot product")
+            program.emit(Opcode.S_FREE, 1)
+            program.emit(Opcode.S_FREE, 2)
+        elif self.kind == "spmspm":  # outer / gustavson merge kernels
+            program.emit(Opcode.S_VREAD, "R8", "R9", 1, "R11", "R12",
+                         comment="accumulator row")
+            program.emit(Opcode.S_VREAD, "R8", "R9", 2, "R11", "R12",
+                         comment="row of B (scaled by A[i,k])")
+            program.emit(Opcode.S_VMERGE, "F1", "F2", 1, 2, 3,
+                         comment="merge partial products")
+            program.emit(Opcode.S_FREE, 1)
+            program.emit(Opcode.S_FREE, 2)
+        elif self.kind == "ttv":
+            program.emit(Opcode.S_VREAD, "R8", "R9", 1, "R11", "R12",
+                         comment="CSF fiber A(i,j,:)")
+            program.emit(Opcode.S_VREAD, "R8", "R9", 2, "R11", "R12",
+                         comment="vector B")
+            program.emit(Opcode.S_VINTER, 1, 2, "R10", "MAC",
+                         comment="Z[i,j]")
+            program.emit(Opcode.S_FREE, 1)
+            program.emit(Opcode.S_FREE, 2)
+        else:  # ttm
+            program.emit(Opcode.S_VREAD, "R8", "R9", 1, "R11", "R12",
+                         comment="CSF fiber A(i,j,:)")
+            program.emit(Opcode.S_VREAD, "R8", "R9", 2, "R11", "R12",
+                         comment="row k of B")
+            program.emit(Opcode.S_VINTER, 1, 2, "R10", "MAC",
+                         comment="Z[i,j,k]")
+            program.emit(Opcode.S_FREE, 1)
+            program.emit(Opcode.S_FREE, 2)
+        return program
+
+
+_SPMSPM_DATAFLOWS = {
+    "inner": spmspm_inner,
+    "outer": spmspm_outer,
+    "gustavson": spmspm_gustavson,
+}
+
+
+class TensorCompiler:
+    """Front end: expression text -> :class:`CompiledKernel`."""
+
+    def compile(self, text: str, dataflow: str = "gustavson") -> CompiledKernel:
+        expr = parse_expression(text)
+        orders = (expr.output.order, expr.lhs.order, expr.rhs.order)
+        contracted = expr.contracted
+
+        if orders == (2, 2, 2) and len(contracted) == 1:
+            if dataflow not in _SPMSPM_DATAFLOWS:
+                raise CompilerError(
+                    f"unknown spmspm dataflow {dataflow!r}; choose from "
+                    f"{sorted(_SPMSPM_DATAFLOWS)}")
+            return CompiledKernel(expr, "spmspm", dataflow,
+                                  _SPMSPM_DATAFLOWS[dataflow])
+        if orders == (2, 3, 1) and len(contracted) == 1:
+            return CompiledKernel(expr, "ttv", "", _ttv)
+        if orders == (3, 3, 2) and len(contracted) == 1:
+            return CompiledKernel(expr, "ttm", "", _ttm)
+        raise CompilerError(
+            f"unsupported expression shape {orders} with contraction "
+            f"{contracted}; supported: spmspm, TTV, TTM")
+
+
+def compile_expression(text: str, dataflow: str = "gustavson") -> CompiledKernel:
+    """Module-level convenience wrapper over :class:`TensorCompiler`."""
+    return TensorCompiler().compile(text, dataflow)

@@ -1,0 +1,49 @@
+"""Tensor-times-vector: ``Z[i,j] = sum_k A[i,j,k] * B[k]``.
+
+Each CSF fiber is a (key,value) stream; contracting it with the dense
+vector's sparse view is one ``S_VINTER`` MAC (the vector stream is
+pinned in the scratchpad — it is reused by every fiber).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.context import Machine
+from repro.tensor.csf import CSFTensor
+from repro.tensor.matrix import SparseMatrix
+
+LOOP_INSTRS = 5
+
+
+def ttv(a: CSFTensor, b: np.ndarray,
+        machine: Machine | None = None) -> SparseMatrix:
+    """Contract the last mode of ``a`` with vector ``b``."""
+    machine = machine or Machine(name="ttv")
+    b = np.asarray(b, dtype=np.float64)
+    if b.size != a.shape[2]:
+        raise ValueError(
+            f"vector has {b.size} entries, tensor mode has {a.shape[2]}")
+    nz = np.flatnonzero(b).astype(np.int64)
+    b_stream = machine.load_values(nz, b[nz], ("ttv-vec", id(b)), priority=1)
+    rows, cols, vals = [], [], []
+    offset = 0
+    for i, j, k_keys, k_vals in a.fibers():
+        # CSF fibers are consecutive in memory: the reuse granule is the
+        # cache-line-sized chunk of the underlying arrays, not the fiber
+        # (several short fibers share a line).
+        fiber = machine.load_values(
+            k_keys, k_vals, ("csf-chunk", id(a), offset // 16))
+        offset += int(k_keys.size)
+        value = machine.vinter(fiber, b_stream, "MAC")
+        machine.scalar(LOOP_INSTRS)
+        if value != 0.0:
+            rows.append(i)
+            cols.append(j)
+            vals.append(value)
+    return SparseMatrix.from_coo(
+        (a.shape[0], a.shape[1]), rows, cols, vals, name="Z")
+
+
+def ttv_dense_reference(a: CSFTensor, b: np.ndarray) -> np.ndarray:
+    return np.einsum("ijk,k->ij", a.to_dense(), np.asarray(b, float))

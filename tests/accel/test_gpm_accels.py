@@ -1,0 +1,106 @@
+"""Tests for the GPM accelerator baseline models."""
+
+import pytest
+
+from repro.accel import FlexMinerModel, GpuModel, GramerModel, TrieJaxModel
+from repro.accel.triejax import Unsupported
+from repro.arch import CpuModel, SparseCoreModel
+from repro.gpm import pattern as pat
+from repro.gpm import run_app
+from repro.gpm.symmetry import redundancy_factor
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def triangle_run():
+    graph = power_law_graph(500, 14.0, 80, seed=9)
+    return graph, run_app("T", graph)
+
+
+class TestFlexMiner:
+    def test_slower_than_sparsecore(self, triangle_run):
+        _, run = triangle_run
+        fm = FlexMinerModel().cost(run.trace)
+        sc = SparseCoreModel().cost(run.trace)
+        # The parallel-comparison advantage (paper: 2.7x average).
+        assert 1.0 < fm.total_cycles / sc.total_cycles < 30.0
+
+    def test_faster_than_cpu(self, triangle_run):
+        _, run = triangle_run
+        fm = FlexMinerModel().cost(run.trace)
+        cpu = CpuModel().cost(run.trace)
+        assert fm.total_cycles < cpu.total_cycles
+
+    def test_empty_trace(self):
+        from repro.arch.trace import Trace
+
+        assert FlexMinerModel().cost(Trace()).total_cycles == 0.0
+
+
+class TestTrieJax:
+    def test_orders_of_magnitude_slower(self, triangle_run):
+        graph, run = triangle_run
+        tj = TrieJaxModel(graph.num_vertices,
+                          redundancy_factor(pat.triangle()))
+        sc = SparseCoreModel().cost(run.trace)
+        ratio = tj.cost(run.trace).total_cycles / sc.total_cycles
+        assert ratio > 20.0
+
+    def test_redundancy_scales_cost(self, triangle_run):
+        graph, run = triangle_run
+        t6 = TrieJaxModel(graph.num_vertices, 6).cost(run.trace)
+        t120 = TrieJaxModel(graph.num_vertices, 120).cost(run.trace)
+        assert t120.total_cycles == pytest.approx(20 * t6.total_cycles)
+
+    def test_vertex_induced_unsupported(self):
+        with pytest.raises(Unsupported):
+            TrieJaxModel(100, 2, vertex_induced=True)
+
+    def test_binary_search_scales_with_graph(self, triangle_run):
+        _, run = triangle_run
+        small = TrieJaxModel(1 << 10, 6).cost(run.trace)
+        large = TrieJaxModel(1 << 20, 6).cost(run.trace)
+        assert large.total_cycles > small.total_cycles
+
+
+class TestGramer:
+    def test_slower_than_cpu(self, triangle_run):
+        # Section 6.3.1: GRAMER is slower than the CPU baseline.
+        _, run = triangle_run
+        gr = GramerModel().cost(run.trace)
+        cpu = CpuModel().cost(run.trace)
+        assert gr.total_cycles > cpu.total_cycles
+
+    def test_deficit_vs_sparsecore_in_paper_range(self, triangle_run):
+        _, run = triangle_run
+        gr = GramerModel().cost(run.trace)
+        sc = SparseCoreModel().cost(run.trace)
+        # Paper: 40.1x average, up to 181.8x.
+        assert 10.0 < gr.total_cycles / sc.total_cycles < 250.0
+
+
+class TestGpu:
+    def test_breaking_helps_gpu(self, triangle_run):
+        _, run = triangle_run
+        without = GpuModel(6, symmetry_breaking=False).cost(run.trace)
+        with_b = GpuModel(6, symmetry_breaking=True).cost(run.trace)
+        assert with_b.total_cycles < without.total_cycles
+
+    def test_sparsecore_wins_big(self, triangle_run):
+        _, run = triangle_run
+        gpu = GpuModel(6, symmetry_breaking=False).cost(run.trace)
+        sc = SparseCoreModel().cost(run.trace)
+        assert gpu.total_cycles / sc.total_cycles > 10.0
+
+    def test_redundancy_multiplies_unbroken_work(self, triangle_run):
+        _, run = triangle_run
+        r6 = GpuModel(6, False).cost(run.trace)
+        r120 = GpuModel(120, False).cost(run.trace)
+        assert r120.total_cycles == pytest.approx(20 * r6.total_cycles)
+
+    def test_detail_reports_bound(self, triangle_run):
+        _, run = triangle_run
+        rep = GpuModel(6, False).cost(run.trace)
+        assert rep.total_cycles == pytest.approx(max(
+            rep.detail["compute_bound_cycles"],
+            rep.detail["memory_bound_cycles"]))

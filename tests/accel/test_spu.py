@@ -1,0 +1,73 @@
+"""Tests for the SPU/DGRA feasibility analysis (Section 2.3)."""
+
+import pytest
+
+from repro.accel.spu import (
+    SPU_CORE_COMPUTE_NODES,
+    DfgSize,
+    motif_dfg_size,
+    pattern_dfg_size,
+)
+from repro.gpm import pattern as pat
+
+
+class TestDfgSize:
+    def test_triangle_fits_one_core(self):
+        size = pattern_dfg_size(pat.triangle())
+        assert size.fits_spu_core()
+        assert size.computation_nodes >= 2  # one join + reduce
+
+    def test_four_motif_exceeds_one_core(self):
+        """The paper's headline infeasibility example: four-motif's DFG
+        needs far more computation nodes than one SPU core's 20."""
+        size = motif_dfg_size(4)
+        assert size.computation_nodes > SPU_CORE_COMPUTE_NODES
+        assert size.memory_nodes > size.computation_nodes * 0.5
+        assert size.total_nodes > 40
+
+    def test_motif3_smaller_than_motif4(self):
+        assert motif_dfg_size(3).total_nodes < motif_dfg_size(4).total_nodes
+
+    def test_complex_single_pattern(self):
+        # 5-clique: four levels of joins plus bounds.
+        size = pattern_dfg_size(pat.clique(5))
+        assert size.computation_nodes > 5
+
+    def test_custom_capacity(self):
+        size = DfgSize(computation_nodes=25, memory_nodes=10)
+        assert not size.fits_spu_core()
+        assert size.fits_spu_core(capacity=30)
+        assert size.total_nodes == 35
+
+
+class TestAreaNumbers:
+    def test_published_values(self):
+        from repro.arch import area
+
+        assert area.SPARSECORE_FREQUENCY_GHZ == 4.35
+        assert area.SPARSECORE_TOTAL_MM2 == 0.73
+        assert area.SPARSECORE_PER_SU_MM2 == 0.183
+        assert area.TRIEJAX_PER_THREAD_MM2 == pytest.approx(0.166, abs=0.001)
+
+    def test_fairness_check(self):
+        """Section 6.3.1's comparison premise: the per-unit areas are
+        within ~10% of each other."""
+        from repro.arch.area import AreaComparison
+
+        comparison = AreaComparison()
+        assert comparison.max_disparity() < 1.15
+        assert len(comparison.rows()) == 3
+
+    def test_extension_is_small_vs_core(self):
+        from repro.arch.area import extension_overhead_vs_core
+
+        # 0.73 mm^2 against a ~15 mm^2 Skylake core: ~5%.
+        assert extension_overhead_vs_core() < 0.06
+
+    def test_area_normalized_speedup(self):
+        from repro.arch.area import area_normalized_speedup
+
+        # Equal areas leave the speedup unchanged.
+        assert area_normalized_speedup(2.7, 0.18, 0.18) == pytest.approx(2.7)
+        # A smaller unit gets credit.
+        assert area_normalized_speedup(2.7, 0.09, 0.18) > 2.7

@@ -1,0 +1,149 @@
+"""Tests for stream virtualization (Section 4.1) and precise
+exceptions via checkpoint/rollback (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import SimMemory, StreamExecutor
+from repro.errors import (
+    GfrNotLoadedFault,
+    StreamRegisterPressureFault,
+    UnknownStreamFault,
+)
+from repro.isa import Opcode
+from repro.isa.spec import Instruction
+
+
+def I(opcode, *ops):
+    return Instruction(opcode, tuple(ops))
+
+
+@pytest.fixture
+def memory():
+    mem = SimMemory()
+    arrays = {}
+    for i in range(24):
+        arrays[i] = mem.register(
+            np.arange(i, i + 8, dtype=np.int64), f"arr{i}")
+    return mem, arrays
+
+
+class TestVirtualization:
+    def test_more_streams_than_registers(self, memory):
+        """With virtualization, 24 simultaneously active streams work
+        on 16 stream registers: older streams spill and swap back."""
+        mem, arrays = memory
+        ex = StreamExecutor(mem, virtualize=True)
+        for sid in range(24):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        assert ex.spills >= 8
+        # Every stream is still readable (spilled ones swap in).
+        for sid in range(24):
+            ex.execute(I(Opcode.S_FETCH, sid, 0, "R0"))
+            assert ex.regs["R0"] == sid
+        assert ex.swap_ins >= 8
+
+    def test_disabled_by_default(self, memory):
+        mem, arrays = memory
+        ex = StreamExecutor(mem)
+        for sid in range(16):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        with pytest.raises(StreamRegisterPressureFault):
+            ex.execute(I(Opcode.S_READ, arrays[16], 8, 16, 0))
+
+    def test_spilled_stream_usable_in_compute(self, memory):
+        mem, arrays = memory
+        ex = StreamExecutor(mem, virtualize=True)
+        for sid in range(20):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        # Stream 0 was certainly spilled; intersect it with stream 19.
+        ex.execute(I(Opcode.S_INTER_C, 0, 19, "R1", -1))
+        expected = np.intersect1d(np.arange(0, 8), np.arange(19, 27)).size
+        assert ex.regs["R1"] == expected
+
+    def test_free_spilled_stream(self, memory):
+        mem, arrays = memory
+        ex = StreamExecutor(mem, virtualize=True)
+        for sid in range(20):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        ex.execute(I(Opcode.S_FREE, 0))  # spilled by now
+        with pytest.raises(UnknownStreamFault):
+            ex.execute(I(Opcode.S_FETCH, 0, 0, "R0"))
+
+    def test_redefine_supersedes_spill(self, memory):
+        mem, arrays = memory
+        ex = StreamExecutor(mem, virtualize=True)
+        for sid in range(20):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        ex.execute(I(Opcode.S_READ, arrays[5], 8, 0, 0))  # redefine sid 0
+        ex.execute(I(Opcode.S_FETCH, 0, 0, "R0"))
+        assert ex.regs["R0"] == 5
+
+    def test_lru_victim_selection(self, memory):
+        mem, arrays = memory
+        ex = StreamExecutor(mem, virtualize=True)
+        for sid in range(16):
+            ex.execute(I(Opcode.S_READ, arrays[sid], 8, sid, 0))
+        ex.execute(I(Opcode.S_FETCH, 0, 0, "R0"))  # make sid 0 hot
+        ex.execute(I(Opcode.S_READ, arrays[16], 8, 16, 0))
+        assert 0 not in ex._spilled  # the LRU victim was not sid 0
+        assert 1 in ex._spilled
+
+
+class TestPreciseExceptions:
+    def graph_setup(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (0, 2)])
+        mem = SimMemory()
+        at = {
+            "indptr": mem.register(g.indptr, "indptr"),
+            "edges": mem.register(g.indices, "edges"),
+            "offsets": mem.register(g.offsets, "offsets"),
+        }
+        return g, mem, at
+
+    def test_fault_rolls_back_registers(self):
+        from repro.errors import ArchFault
+
+        g, mem, at = self.graph_setup()
+        # A poisoned vertex array: its windows point far past the edge
+        # array, so the translator's stream-info loads fault mid-way.
+        poison = mem.register(
+            10_000_000 + 100 * np.arange(g.num_vertices + 1,
+                                         dtype=np.int64),
+            "poison-indptr")
+        ex = StreamExecutor(mem)
+        ex.execute(I(Opcode.S_LD_GFR, poison, at["edges"], at["offsets"]))
+        addr = mem.element_address(at["edges"], int(g.indptr[2]))
+        ex.execute(I(Opcode.S_READ, addr, g.degree(2), 1, 0))
+        ex.regs["R5"] = 777  # must survive the rollback
+        before_active = ex.smt.num_active
+        with pytest.raises(ArchFault):
+            ex.execute(I(Opcode.S_NESTINTER, 1, "R5"))
+        assert ex.rollbacks == 1
+        assert ex.regs["R5"] == 777
+        assert ex.smt.num_active == before_active
+
+    def test_successful_nestinter_takes_checkpoint_only(self):
+        g, mem, at = self.graph_setup()
+        ex = StreamExecutor(mem)
+        ex.execute(I(Opcode.S_LD_GFR, at["indptr"], at["edges"],
+                     at["offsets"]))
+        addr = mem.element_address(at["edges"], int(g.indptr[2]))
+        ex.execute(I(Opcode.S_READ, addr, g.degree(2), 1, 0))
+        ex.execute(I(Opcode.S_NESTINTER, 1, "R5"))
+        assert ex.checkpoints_taken == 1
+        assert ex.rollbacks == 0
+        assert ex.regs["R5"] == 1  # one bounded common neighbor
+
+    def test_gfr_fault_before_translation(self):
+        g, mem, at = self.graph_setup()
+        ex = StreamExecutor(mem)
+        addr = mem.element_address(at["edges"], int(g.indptr[2]))
+        ex.execute(I(Opcode.S_READ, addr, g.degree(2), 1, 0))
+        with pytest.raises(GfrNotLoadedFault):
+            ex.execute(I(Opcode.S_NESTINTER, 1, "R5"))
+        # Rolled back cleanly; stream 1 still usable.
+        ex.execute(I(Opcode.S_FETCH, 1, 0, "R0"))
+        assert ex.rollbacks == 1

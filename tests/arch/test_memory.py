@@ -1,0 +1,109 @@
+"""Tests for the LRU cache-hierarchy model."""
+
+from repro.arch.config import CacheConfig
+from repro.arch.memory import CacheHierarchy, LruBytes
+
+
+class TestLruBytes:
+    def test_hit_after_insert(self):
+        lru = LruBytes(100)
+        assert lru.access(("a",), 10) is False
+        assert lru.access(("a",), 10) is True
+
+    def test_eviction_order(self):
+        lru = LruBytes(100)
+        lru.access(("a",), 60)
+        lru.access(("b",), 60)  # evicts a
+        assert lru.access(("a",), 60) is False
+        assert lru.access(("b",), 60) is False  # b evicted by a's reinsert
+
+    def test_touch_refreshes(self):
+        lru = LruBytes(100)
+        lru.access(("a",), 40)
+        lru.access(("b",), 40)
+        lru.access(("a",), 40)  # refresh a
+        lru.access(("c",), 40)  # evicts b
+        assert lru.contains(("a",))
+        assert not lru.contains(("b",))
+
+    def test_oversize_granule_clamped(self):
+        lru = LruBytes(100)
+        lru.access(("big",), 500)
+        assert lru.used_bytes <= 100
+
+    def test_clear(self):
+        lru = LruBytes(100)
+        lru.access(("a",), 10)
+        lru.clear()
+        assert lru.used_bytes == 0
+        assert not lru.contains(("a",))
+
+
+class TestCacheHierarchy:
+    def config(self):
+        return CacheConfig(l1d_bytes=256, l2_bytes=1024, l3_bytes=4096)
+
+    def test_first_access_is_dram(self):
+        h = CacheHierarchy(self.config())
+        cost = h.access(("v", 1), 64)
+        assert cost == h.config.dram_latency
+        assert h.stats.dram_accesses == 1
+
+    def test_second_access_is_l1(self):
+        h = CacheHierarchy(self.config())
+        h.access(("v", 1), 64)
+        cost = h.access(("v", 1), 64)
+        assert cost == h.config.l1_latency
+        assert h.stats.l1_hits == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(self.config())
+        h.access(("v", 1), 128)
+        for i in range(2, 6):
+            h.access(("v", i), 128)  # push v1 out of the 256B L1
+        cost = h.access(("v", 1), 128)
+        assert cost == h.config.l2_latency + 1 * h.config.l2_line_cost
+        assert h.stats.l2_hits >= 1
+
+    def test_no_l1_mode(self):
+        h = CacheHierarchy(self.config(), use_l1=False)
+        h.access(("v", 1), 64)
+        cost = h.access(("v", 1), 64)
+        assert cost == h.config.l2_latency
+
+    def test_multi_line_cost(self):
+        h = CacheHierarchy(self.config())
+        cost = h.access(("v", 1), 64 * 4)  # 4 lines, cold
+        assert cost == h.config.dram_latency + 3 * h.config.dram_line_cost
+
+    def test_zero_bytes_free(self):
+        h = CacheHierarchy(self.config())
+        assert h.access(("v", 1), 0) == 0.0
+        assert h.stats.accesses == 0
+
+    def test_pipelined_access_cheaper_than_demand(self):
+        h1 = CacheHierarchy(self.config(), use_l1=False)
+        h2 = CacheHierarchy(self.config(), use_l1=False)
+        demand = h1.access(("v", 1), 256)
+        prefetch = h2.access_pipelined(("v", 1), 256)
+        assert prefetch < demand
+
+    def test_pipelined_l2_hit(self):
+        h = CacheHierarchy(self.config(), use_l1=False)
+        h.access_pipelined(("v", 1), 64)
+        cost = h.access_pipelined(("v", 1), 64)
+        assert cost == h.config.l2_line_cost
+
+    def test_lines_for(self):
+        h = CacheHierarchy(self.config())
+        assert h.lines_for(0) == 0
+        assert h.lines_for(1) == 1
+        assert h.lines_for(64) == 1
+        assert h.lines_for(65) == 2
+
+    def test_reset(self):
+        h = CacheHierarchy(self.config())
+        h.access(("v", 1), 64)
+        h.reset()
+        assert h.stats.accesses == 0
+        assert h.access(("v", 1), 64) == h.config.dram_latency

@@ -1,0 +1,178 @@
+"""Tests for the trace container and the CPU/SparseCore cost models."""
+
+import numpy as np
+import pytest
+
+from repro.arch import CpuModel, SparseCoreModel, Trace
+from repro.arch.config import SparseCoreConfig
+from repro.arch.trace import NO_BURST, OpKind, su_cycles_for
+from repro.streams.runstats import analyze_pair
+
+
+def keys(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+def sample_stats(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.unique(rng.integers(0, 4 * n, n)).astype(np.int64)
+    b = np.unique(rng.integers(0, 4 * n, n)).astype(np.int64)
+    return analyze_pair(a, b)
+
+
+class TestTrace:
+    def test_add_op_and_freeze(self):
+        t = Trace("t")
+        st = sample_stats()
+        t.add_op(OpKind.INTERSECT, st, cpu_mem=10.0, sc_mem=2.0)
+        t.add_scalar(100)
+        f = t.freeze()
+        assert f.num_ops == 1
+        assert f.cpu_mem[0] == 10.0
+        assert f.shared_scalar_instrs == 100
+
+    def test_freeze_cached_and_invalidated(self):
+        t = Trace()
+        t.add_op(OpKind.MERGE, sample_stats())
+        f1 = t.freeze()
+        assert t.freeze() is f1
+        t.add_op(OpKind.MERGE, sample_stats())
+        assert t.freeze() is not f1
+        assert t.freeze().num_ops == 2
+
+    def test_su_cycles_kind_selection(self):
+        st = analyze_pair(keys(1, 2, 3), keys(1, 2, 3))
+        assert su_cycles_for(OpKind.INTERSECT, st) == st.su_cycles_intersect
+        assert su_cycles_for(OpKind.SUBTRACT, st) == st.su_cycles_submerge
+        assert su_cycles_for(OpKind.VINTER, st) == st.su_cycles_intersect
+
+    def test_burst_ids_unique(self):
+        t = Trace()
+        assert t.new_burst() != t.new_burst()
+
+    def test_stream_lengths(self):
+        t = Trace()
+        st = analyze_pair(keys(1, 2, 3), keys(4, 5))
+        t.add_op(OpKind.INTERSECT, st)
+        assert t.stream_lengths().tolist() == [5]
+
+
+class TestCpuModel:
+    def test_empty_trace_zero(self):
+        rep = CpuModel().cost(Trace())
+        assert rep.total_cycles == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        t = Trace()
+        for i in range(10):
+            t.add_op(OpKind.INTERSECT, sample_stats(seed=i), cpu_mem=50.0)
+        t.add_scalar(1000)
+        rep = CpuModel().cost(t)
+        assert rep.total_cycles > 0
+        assert sum(rep.breakdown().values()) == pytest.approx(1.0)
+
+    def test_mispredictions_dominate_interleaved_streams(self):
+        """The paper's key CPU observation (Figure 9): data-dependent
+        branches make misprediction a large share of CPU time."""
+        t = Trace()
+        a = keys(*range(0, 400, 2))
+        b = keys(*range(1, 400, 2))  # perfectly interleaved: all changes
+        t.add_op(OpKind.INTERSECT, analyze_pair(a, b))
+        rep = CpuModel().cost(t)
+        assert rep.breakdown()["Mispred."] > 0.3
+
+    def test_value_flops_charged(self):
+        t1, t2 = Trace(), Trace()
+        st = sample_stats()
+        t1.add_op(OpKind.VINTER, st, flop_pairs=0)
+        t2.add_op(OpKind.VINTER, st, flop_pairs=100)
+        assert CpuModel().cost(t2).total_cycles > CpuModel().cost(t1).total_cycles
+
+
+class TestSparseCoreModel:
+    def test_empty_trace_zero(self):
+        rep = SparseCoreModel().cost(Trace())
+        assert rep.total_cycles == 0.0
+
+    def test_faster_than_cpu_on_typical_ops(self):
+        t = Trace()
+        for i in range(50):
+            t.add_op(OpKind.INTERSECT, sample_stats(n=64, seed=i),
+                     cpu_mem=60.0, sc_mem=8.0)
+        sc = SparseCoreModel().cost(t)
+        cpu = CpuModel().cost(t)
+        # speedup_over reports how much faster *this* machine is.
+        assert sc.speedup_over(cpu) > 3.0
+        assert cpu.speedup_over(sc) < 1.0
+
+    def test_more_sus_helps_bursts(self):
+        t = Trace()
+        burst = t.new_burst()
+        for i in range(16):
+            t.add_op(OpKind.INTERSECT, sample_stats(n=64, seed=i),
+                     burst=burst, nested=True)
+        one = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(t)
+        four = SparseCoreModel(SparseCoreConfig(num_sus=4)).cost(t)
+        assert four.total_cycles < one.total_cycles
+
+    def test_sus_do_not_help_serial_singletons(self):
+        cfg1 = SparseCoreConfig(num_sus=1, implicit_overlap=1)
+        cfg8 = SparseCoreConfig(num_sus=8, implicit_overlap=1)
+        t = Trace()
+        for i in range(16):
+            t.add_op(OpKind.INTERSECT, sample_stats(n=64, seed=i))
+        assert (SparseCoreModel(cfg8).cost(t).total_cycles
+                == SparseCoreModel(cfg1).cost(t).total_cycles)
+
+    def test_bandwidth_limits_bursts(self):
+        t = Trace()
+        burst = t.new_burst()
+        for i in range(16):
+            t.add_op(OpKind.INTERSECT, sample_stats(n=256, seed=i),
+                     burst=burst, nested=True)
+        slow = SparseCoreModel(SparseCoreConfig(scache_bandwidth=2)).cost(t)
+        fast = SparseCoreModel(SparseCoreConfig(scache_bandwidth=64)).cost(t)
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_diminishing_returns_with_many_sus(self):
+        """Figure 12: beyond ~4 SUs the longest op dominates bursts."""
+        t = Trace()
+        burst = t.new_burst()
+        for i in range(8):
+            t.add_op(OpKind.INTERSECT, sample_stats(n=64, seed=i),
+                     burst=burst, nested=True)
+        times = {
+            n: SparseCoreModel(SparseCoreConfig(num_sus=n)).cost(t).total_cycles
+            for n in (1, 4, 16)
+        }
+        gain_1_to_4 = times[1] / times[4]
+        gain_4_to_16 = times[4] / times[16]
+        assert gain_1_to_4 > gain_4_to_16
+
+    def test_other_computation_partially_hidden(self):
+        t = Trace()
+        t.add_op(OpKind.INTERSECT, sample_stats(n=512))
+        t.add_scalar(100)
+        rep = SparseCoreModel().cost(t)
+        raw_other = 100 * SparseCoreConfig().scalar_cpi
+        assert rep.other_cycles < raw_other
+
+    def test_nested_ops_cheaper_issue(self):
+        st = sample_stats(n=64)
+        plain = Trace()
+        nested = Trace()
+        for i in range(20):
+            plain.add_op(OpKind.INTERSECT, st)
+        b = nested.new_burst()
+        for i in range(20):
+            nested.add_op(OpKind.INTERSECT, st, burst=b, nested=True)
+        model = SparseCoreModel()
+        assert (model.cost(nested).total_cycles
+                < model.cost(plain).total_cycles)
+
+    def test_config_sweep_helpers(self):
+        cfg = SparseCoreConfig()
+        assert cfg.with_sus(8).num_sus == 8
+        assert cfg.with_bandwidth(64).scache_bandwidth == 64
+        # original untouched (frozen dataclass)
+        assert cfg.num_sus == 4

@@ -1,0 +1,52 @@
+"""Tests for the multi-core scaling model."""
+
+import pytest
+
+from repro.arch.multicore import MultiCoreModel
+from repro.gpm import run_app
+from repro.graph.generators import erdos_renyi_graph, power_law_graph
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_app("T", power_law_graph(400, 10.0, 80, seed=4)).trace
+
+
+class TestMultiCore:
+    def test_parallel_faster_than_single(self, trace):
+        rep = MultiCoreModel(6).cost(trace)
+        assert rep.parallel_cycles < rep.single_core_cycles
+        assert rep.speedup > 2.0
+
+    def test_one_core_is_identity(self, trace):
+        rep = MultiCoreModel(1).cost(trace)
+        assert rep.speedup == 1.0
+        assert rep.parallel_cycles == rep.single_core_cycles
+
+    def test_speedup_bounded_by_cores(self, trace):
+        for cores in (2, 4, 6):
+            rep = MultiCoreModel(cores).cost(trace)
+            assert rep.speedup <= cores + 1e-6
+
+    def test_monotone_in_cores(self, trace):
+        speedups = [MultiCoreModel(c).cost(trace).speedup
+                    for c in (1, 2, 4, 6)]
+        assert speedups == sorted(speedups)
+
+    def test_imbalance_at_least_one(self, trace):
+        rep = MultiCoreModel(6).cost(trace)
+        assert rep.imbalance >= 1.0
+
+    def test_skew_hurts_scaling(self):
+        """Hub-heavy graphs shard less evenly than flat ones."""
+        flat = run_app("T", erdos_renyi_graph(600, 10.0, seed=1)).trace
+        skewed = run_app("T", power_law_graph(600, 10.0, 300, seed=1)).trace
+        flat_rep = MultiCoreModel(6).cost(flat)
+        skew_rep = MultiCoreModel(6).cost(skewed)
+        assert skew_rep.imbalance >= flat_rep.imbalance - 0.05
+
+    def test_empty_trace(self):
+        from repro.arch.trace import Trace
+
+        rep = MultiCoreModel(6).cost(Trace())
+        assert rep.speedup == 1.0

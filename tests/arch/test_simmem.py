@@ -1,0 +1,66 @@
+"""Tests for the simulated address space."""
+
+import numpy as np
+import pytest
+
+from repro.arch import SimMemory
+from repro.errors import ArchFault
+
+
+class TestSimMemory:
+    def test_register_and_view(self):
+        mem = SimMemory()
+        arr = np.arange(10, dtype=np.int64)
+        base = mem.register(arr, "a")
+        view = mem.view(base, 10)
+        assert np.shares_memory(view, arr)
+        assert view.tolist() == list(range(10))
+
+    def test_offset_view(self):
+        mem = SimMemory()
+        arr = np.arange(10, dtype=np.int64)
+        base = mem.register(arr)
+        addr = mem.element_address(base, 4)
+        assert mem.view(addr, 3).tolist() == [4, 5, 6]
+
+    def test_addresses_are_aligned_and_disjoint(self):
+        mem = SimMemory(alignment=64)
+        a = mem.register(np.zeros(3, dtype=np.int64))
+        b = mem.register(np.zeros(100, dtype=np.int64))
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 3 * 8
+
+    def test_unmapped_low_address(self):
+        mem = SimMemory(base=0x1000)
+        with pytest.raises(ArchFault, match="unmapped"):
+            mem.view(0x10, 1)
+
+    def test_unmapped_past_end(self):
+        mem = SimMemory()
+        base = mem.register(np.zeros(2, dtype=np.int64))
+        with pytest.raises(ArchFault, match="unmapped"):
+            mem.view(base + 10_000_000, 1)
+
+    def test_out_of_bounds_length(self):
+        mem = SimMemory()
+        base = mem.register(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ArchFault, match="past end"):
+            mem.view(base, 5)
+
+    def test_misaligned(self):
+        mem = SimMemory()
+        base = mem.register(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ArchFault, match="misaligned"):
+            mem.view(base + 3, 1)
+
+    def test_array_id_and_name(self):
+        mem = SimMemory()
+        a = mem.register(np.zeros(4, dtype=np.int64), "edges")
+        b = mem.register(np.zeros(4, dtype=np.int64), "indptr")
+        assert mem.array_id(a) != mem.array_id(b)
+        assert mem.name_of(b) == "indptr"
+
+    def test_empty_array_registrable(self):
+        mem = SimMemory()
+        base = mem.register(np.empty(0, dtype=np.int64), "empty")
+        assert mem.name_of(base) == "empty"

@@ -1,0 +1,120 @@
+"""Tests for the Stream Mapping Table lifecycle (Section 4.1)."""
+
+import pytest
+
+from repro.arch.smt import StreamMappingTable
+from repro.errors import StreamRegisterPressureFault, UnknownStreamFault
+
+
+class TestDefineFree:
+    def test_define_allocates_entry(self):
+        smt = StreamMappingTable(4)
+        entry = smt.define(7)
+        assert entry.vd and entry.va
+        assert entry.sid == 7
+        assert smt.num_active == 1
+
+    def test_lookup_defined(self):
+        smt = StreamMappingTable(4)
+        smt.define(7)
+        assert smt.lookup(7).sid == 7
+        assert smt.is_defined(7)
+
+    def test_lookup_undefined_raises(self):
+        smt = StreamMappingTable(4)
+        with pytest.raises(UnknownStreamFault):
+            smt.lookup(9)
+
+    def test_redefine_overwrites_mapping(self):
+        # Section 3.3: "If the stream ID is already active, the previous
+        # mapping is overwritten".
+        smt = StreamMappingTable(4)
+        first = smt.define(7)
+        first.start = True
+        second = smt.define(7)
+        assert second is first
+        assert not second.start  # state reset on overwrite
+        assert smt.num_active == 1
+
+    def test_free_requires_defined(self):
+        smt = StreamMappingTable(4)
+        with pytest.raises(UnknownStreamFault):
+            smt.free(3)
+
+    def test_free_decode_clears_vd_keeps_va(self):
+        # "Sid_i is no longer defined ... but the stream is still active
+        # since S_FREE has not been retired."
+        smt = StreamMappingTable(4)
+        smt.define(7)
+        entry = smt.free_decode(7)
+        assert not entry.vd
+        assert entry.va
+        assert not smt.is_defined(7)
+        assert smt.num_active == 1
+
+    def test_free_retire_releases_entry(self):
+        smt = StreamMappingTable(4)
+        smt.define(7)
+        entry = smt.free_decode(7)
+        smt.free_retire(entry)
+        assert smt.num_active == 0
+
+    def test_double_free_raises(self):
+        smt = StreamMappingTable(4)
+        smt.define(7)
+        smt.free(7)
+        with pytest.raises(UnknownStreamFault):
+            smt.free(7)
+
+
+class TestPressure:
+    def test_pressure_fault_when_all_active(self):
+        smt = StreamMappingTable(2)
+        smt.define(0)
+        smt.define(1)
+        with pytest.raises(StreamRegisterPressureFault):
+            smt.define(2)
+        assert smt.pressure_events == 1
+
+    def test_not_retired_entry_still_occupies(self):
+        smt = StreamMappingTable(2)
+        smt.define(0)
+        smt.define(1)
+        smt.free_decode(0)  # vd cleared, va still set
+        with pytest.raises(StreamRegisterPressureFault):
+            smt.define(2)
+
+    def test_retired_entry_reusable(self):
+        smt = StreamMappingTable(2)
+        smt.define(0)
+        smt.define(1)
+        smt.free(0)
+        entry = smt.define(2)
+        assert entry.sid == 2
+
+    def test_same_sid_across_iterations(self):
+        # "Different iterations can use the same stream IDs, which are
+        # mapped to different SMT entries."
+        smt = StreamMappingTable(4)
+        first_sreg = smt.define(5).sreg
+        smt.free(5)
+        second = smt.define(5)
+        assert second.va
+        assert second.sreg in range(4)
+        assert first_sreg in range(4)
+
+
+class TestDependencies:
+    def test_preds_recorded(self):
+        smt = StreamMappingTable(4)
+        smt.define(1)
+        smt.define(2)
+        out = smt.define(3, pred0=1, pred1=2)
+        assert (out.pred0, out.pred1) == (1, 2)
+
+    def test_reset(self):
+        smt = StreamMappingTable(4)
+        smt.define(1)
+        smt.reset()
+        assert smt.num_active == 0
+        assert smt.pressure_events == 0

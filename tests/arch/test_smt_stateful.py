@@ -1,0 +1,83 @@
+"""Stateful property test: the SMT under arbitrary define/free
+sequences always respects its architectural invariants."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.arch.smt import StreamMappingTable
+from repro.errors import StreamRegisterPressureFault, UnknownStreamFault
+
+NUM_ENTRIES = 6
+SIDS = st.integers(min_value=0, max_value=9)
+
+
+class SmtLifecycle(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.smt = StreamMappingTable(NUM_ENTRIES)
+        self.defined: set[int] = set()      # model: vd=1 sids
+        self.draining: set[int] = set()     # vd=0, va=1 (decoded frees)
+
+    @rule(sid=SIDS)
+    def define(self, sid):
+        expect_stall = (
+            sid not in self.defined
+            and len(self.defined) + len(self.draining) >= NUM_ENTRIES
+        )
+        try:
+            self.smt.define(sid)
+        except StreamRegisterPressureFault:
+            assert expect_stall
+        else:
+            assert not expect_stall
+            self.defined.add(sid)
+
+    @rule(sid=SIDS)
+    def free_decode(self, sid):
+        if sid in self.defined:
+            entry = self.smt.free_decode(sid)
+            assert not entry.vd and entry.va
+            self.defined.remove(sid)
+            self.draining.add(entry.sreg)
+        else:
+            try:
+                self.smt.free_decode(sid)
+            except UnknownStreamFault:
+                pass
+            else:
+                raise AssertionError("free of undefined sid must fault")
+
+    @precondition(lambda self: self.draining)
+    @rule()
+    def retire_one(self):
+        sreg = next(iter(self.draining))
+        self.smt.free_retire(self.smt.entries[sreg])
+        self.draining.remove(sreg)
+
+    @invariant()
+    def counts_match_model(self):
+        assert self.smt.num_defined == len(self.defined)
+        assert self.smt.num_active == len(self.defined) + len(self.draining)
+
+    @invariant()
+    def defined_sids_resolvable(self):
+        for sid in self.defined:
+            assert self.smt.lookup(sid).sid == sid
+
+    @invariant()
+    def at_most_one_defined_entry_per_sid(self):
+        for sid in self.defined:
+            matches = [e for e in self.smt.entries
+                       if e.vd and e.sid == sid]
+            assert len(matches) == 1
+
+
+TestSmtLifecycle = SmtLifecycle.TestCase
+TestSmtLifecycle.settings = settings(max_examples=60,
+                                     stateful_step_count=40)

@@ -1,0 +1,92 @@
+"""The cycle-stepping SU simulator validates the analytic cost model:
+both implement the Figure 6 semantics, so outputs must be exact and
+cycle counts must agree within run-boundary effects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.stream_unit import StreamUnit
+from repro.streams import ops
+from repro.streams.runstats import analyze_pair
+
+key_sets = st.frozensets(st.integers(0, 400), max_size=120)
+
+
+def arr(s):
+    return np.array(sorted(s), dtype=np.int64)
+
+
+class TestFunctionalOutput:
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_output_exact(self, sa, sb):
+        run = StreamUnit().run(arr(sa), arr(sb), "intersect")
+        assert run.output.tolist() == ops.intersect(arr(sa), arr(sb)).tolist()
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_subtract_output_exact(self, sa, sb):
+        run = StreamUnit().run(arr(sa), arr(sb), "subtract")
+        assert run.output.tolist() == ops.subtract(arr(sa), arr(sb)).tolist()
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_output_exact(self, sa, sb):
+        run = StreamUnit().run(arr(sa), arr(sb), "merge")
+        assert run.output.tolist() == ops.merge(arr(sa), arr(sb)).tolist()
+
+    @given(key_sets, key_sets, st.integers(0, 420))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, sa, sb, bound):
+        run = StreamUnit().run(arr(sa), arr(sb), "intersect", bound=bound)
+        assert run.output.tolist() == \
+            ops.intersect(arr(sa), arr(sb), bound).tolist()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            StreamUnit().run(arr({1}), arr({1}), "xor")
+
+
+class TestCycleAgreement:
+    """The closed-form su_cycles and the stepped simulation agree up to
+    run-boundary effects (a window in the stepper can straddle a run
+    boundary that the analytic model counts separately)."""
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_intersect_cycles_bracket(self, sa, sb):
+        a, b = arr(sa), arr(sb)
+        stats = analyze_pair(a, b)
+        sim = StreamUnit().run(a, b, "intersect")
+        assert sim.cycles <= stats.su_cycles_intersect
+        assert stats.su_cycles_intersect <= sim.cycles + stats.n_runs
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_submerge_cycles_bracket(self, sa, sb):
+        a, b = arr(sa), arr(sb)
+        stats = analyze_pair(a, b)
+        for kind in ("subtract", "merge"):
+            sim = StreamUnit().run(a, b, kind)
+            assert sim.cycles <= stats.su_cycles_submerge + stats.n_runs
+            assert stats.su_cycles_submerge <= sim.cycles + stats.n_runs
+
+    def test_paper_figure6_example_shape(self):
+        # Figure 6's example: matches found via parallel comparison in
+        # a handful of cycles rather than element-by-element.
+        a = np.array([1, 2, 3, 10], dtype=np.int64)
+        b = np.array([3, 11, 12, 13], dtype=np.int64)
+        run = StreamUnit(width=4).run(a, b, "intersect",
+                                      record_steps=True)
+        assert run.output.tolist() == [3]
+        assert run.cycles <= 3
+        assert len(run.steps) == run.cycles
+
+    def test_long_run_skipping(self):
+        # 160 consecutive mismatching keys: 10 window-cycles, not 160.
+        a = np.arange(160, dtype=np.int64)
+        b = np.array([1000], dtype=np.int64)
+        run = StreamUnit().run(a, b, "intersect")
+        assert run.cycles == 10

@@ -1,0 +1,47 @@
+"""Tests for trace serialization (offline re-pricing workflows)."""
+
+import numpy as np
+
+from repro.arch import CpuModel, SparseCoreModel
+from repro.arch.trace import FrozenTrace
+from repro.gpm import run_app
+from repro.graph.generators import power_law_graph
+
+
+class TestTraceRoundtrip:
+    def test_save_load_identical(self, tmp_path):
+        run = run_app("T", power_law_graph(120, 6.0, 30, seed=1))
+        original = run.trace.freeze()
+        path = tmp_path / "trace.npz"
+        original.save(path)
+        loaded = FrozenTrace.load(path)
+        assert loaded.name == original.name
+        assert loaded.num_ops == original.num_ops
+        np.testing.assert_array_equal(loaded.su_cycles, original.su_cycles)
+        np.testing.assert_array_equal(loaded.burst, original.burst)
+        np.testing.assert_array_equal(loaded.nested, original.nested)
+        assert loaded.shared_scalar_instrs == original.shared_scalar_instrs
+        assert loaded.cpu_only_scalar_instrs == \
+            original.cpu_only_scalar_instrs
+
+    def test_costing_identical_after_reload(self, tmp_path):
+        """The whole point: a saved trace re-prices to the same cycles
+        on any model, in a later session."""
+        run = run_app("4C", power_law_graph(100, 8.0, 30, seed=2))
+        original = run.trace.freeze()
+        path = tmp_path / "trace.npz"
+        original.save(path)
+        loaded = FrozenTrace.load(path)
+        for model in (CpuModel(), SparseCoreModel()):
+            assert model.cost(loaded).total_cycles == \
+                model.cost(original).total_cycles
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        from repro.arch.trace import Trace
+
+        original = Trace("empty").freeze()
+        path = tmp_path / "empty.npz"
+        original.save(path)
+        loaded = FrozenTrace.load(path)
+        assert loaded.num_ops == 0
+        assert SparseCoreModel().cost(loaded).total_cycles == 0.0

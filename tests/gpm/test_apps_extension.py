@@ -1,0 +1,58 @@
+"""Tests for extension workloads (4-motif) and reporting utilities."""
+
+import pytest
+
+from repro.eval.reporting import to_csv
+from repro.eval.tables import table3_rows
+from repro.gpm import run_app
+from repro.gpm.apps import APP_REGISTRY
+from repro.gpm.pattern import motif_patterns
+from repro.gpm.reference import count_embeddings_bruteforce
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestFourMotif:
+    def test_registered_as_extension(self):
+        assert APP_REGISTRY["4M"].extension
+        assert not APP_REGISTRY["TM"].extension
+
+    def test_excluded_from_table3(self):
+        codes = {r["code"] for r in table3_rows()}
+        assert "4M" not in codes
+        assert "TM" in codes
+
+    def test_counts_all_connected_4vertex_patterns(self):
+        g = erdos_renyi_graph(14, 4.0, seed=6)
+        got = run_app("4M", g).count
+        want = sum(
+            count_embeddings_bruteforce(p, g, vertex_induced=True)
+            for p in motif_patterns(4)
+        )
+        assert got == want
+
+    def test_motif_partition_property(self):
+        """Vertex-induced motif counts partition the connected
+        4-subsets: their sum equals the number of connected induced
+        4-vertex subgraphs."""
+        import itertools
+
+        import networkx as nx
+
+        g = erdos_renyi_graph(13, 4.5, seed=8)
+        nxg = g.to_networkx()
+        connected_subsets = sum(
+            1 for subset in itertools.combinations(range(13), 4)
+            if nx.is_connected(nxg.subgraph(subset))
+        )
+        assert run_app("4M", g).count == connected_subsets
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}]
+        path = tmp_path / "rows.csv"
+        to_csv(rows, path)
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b,c"
+        assert "2.5" in text
+        assert "x" in text

@@ -1,0 +1,100 @@
+"""Tests for frequent subgraph mining with MNI support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.gpm import run_fsm
+from repro.gpm.fsm import mni_support, _skeletons
+from repro.gpm.pattern import Pattern, chain, triangle, wedge
+from repro.graph import CSRGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.machine.context import Machine
+
+
+def labeled_toy():
+    # Square with a diagonal: labels alternate 0/1.
+    g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    return g.with_labels([0, 1, 0, 1])
+
+
+class TestMniSupport:
+    def test_single_edge_support(self):
+        g = labeled_toy()
+        p = Pattern(2, [(0, 1)], labels=[0, 1], name="edge")
+        # (0,1),(1,2),(2,3),(3,0): label-0 images {0,2}, label-1 {1,3}.
+        assert mni_support(p, g, Machine()) == 2
+
+    def test_same_label_edge(self):
+        g = labeled_toy()
+        p = Pattern(2, [(0, 1)], labels=[0, 0], name="edge00")
+        # Only edge (0,2): both positions have images {0,2}.
+        assert mni_support(p, g, Machine()) == 2
+
+    def test_absent_pattern_zero(self):
+        g = labeled_toy()
+        p = Pattern(2, [(0, 1)], labels=[1, 1], name="edge11")
+        assert mni_support(p, g, Machine()) == 0
+
+    def test_triangle_with_labels(self):
+        g = labeled_toy()
+        p = Pattern(3, triangle().edges, labels=[0, 0, 1], name="tri")
+        # Triangles {0,1,2} and {0,2,3}: label-0 pair is always {0,2}.
+        assert mni_support(p, g, Machine()) == 2
+
+    def test_orbit_union_for_symmetric_positions(self):
+        # Wedge 1-0-2 with equal leaf labels: symmetry breaking fills
+        # only ordered pairs, but MNI must see both leaf images.
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)]).with_labels([0, 1, 1])
+        p = Pattern(3, wedge().edges, labels=[0, 1, 1], name="w")
+        # One wedge; leaf images {1, 2} after orbit union.
+        assert mni_support(p, g, Machine()) == 1
+        # leaf orbit union check: support of the leaf position is 2,
+        # center is 1, so the min is 1 — but each leaf slot alone would
+        # have reported just one vertex without the union.
+
+
+class TestRunFsm:
+    def test_requires_labels(self):
+        g = erdos_renyi_graph(10, 3.0, seed=0)
+        with pytest.raises(DatasetError):
+            run_fsm(g, support=1)
+
+    def test_toy_mining(self):
+        g = labeled_toy()
+        result = run_fsm(g, support=2, max_edges=2)
+        names = {(fp.pattern.name, fp.pattern.labels)
+                 for fp in result.frequent}
+        assert ("2-chain", (0, 1)) in names
+        assert result.candidates_checked > 0
+        for fp in result.frequent:
+            assert fp.support >= 2
+
+    def test_threshold_monotonic(self):
+        g = erdos_renyi_graph(40, 5.0, seed=1).with_labels(
+            np.arange(40) % 3)
+        low = run_fsm(g, support=2, max_edges=2)
+        high = run_fsm(g, support=10, max_edges=2)
+        assert len(high.frequent) <= len(low.frequent)
+        low_keys = {fp.pattern.canonical_key() for fp in low.frequent}
+        for fp in high.frequent:
+            assert fp.pattern.canonical_key() in low_keys
+
+    def test_apriori_pruning(self):
+        # With an impossible threshold no edges are frequent, so no
+        # larger candidates are even checked.
+        g = labeled_toy()
+        result = run_fsm(g, support=100, max_edges=3)
+        assert result.frequent == []
+        # Only the 3 labeled edge candidates were evaluated.
+        assert result.candidates_checked == 3
+
+    def test_skeletons_cover_three_edges(self):
+        names = {s.name for s in _skeletons(3)}
+        assert names == {"2-chain", "three-chain", "triangle",
+                         "4-chain", "3-star"}
+
+    def test_supports_mapping(self):
+        g = labeled_toy()
+        result = run_fsm(g, support=1, max_edges=2)
+        assert len(result.supports()) == len(result.frequent)

@@ -1,0 +1,118 @@
+"""Tests for pattern specifications and the pattern library."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.gpm import pattern as pat
+from repro.gpm.pattern import Pattern
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern(3, [(0, 1), (1, 2)])
+        assert p.num_edges == 2
+        assert p.neighbors(1) == [0, 2]
+        assert p.degree(1) == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 5)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(PatternError):
+            Pattern(4, [(0, 1), (2, 3)])
+
+    def test_labels_checked(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 1)], labels=[1])
+
+    def test_dedup_edges(self):
+        p = Pattern(2, [(0, 1), (1, 0)])
+        assert p.num_edges == 1
+
+    def test_equality_and_hash(self):
+        assert pat.triangle() == pat.triangle()
+        assert pat.triangle() != pat.wedge()
+        assert len({pat.triangle(), pat.triangle()}) == 1
+
+
+class TestLibrary:
+    def test_triangle(self):
+        assert pat.triangle().num_edges == 3
+
+    def test_clique_sizes(self):
+        assert pat.clique(4).num_edges == 6
+        assert pat.clique(5).num_edges == 10
+
+    def test_chain(self):
+        p = pat.chain(4)
+        assert p.num_edges == 3
+        assert p.degree(0) == 1 and p.degree(1) == 2
+
+    def test_tailed_triangle_shape(self):
+        p = pat.tailed_triangle()
+        assert sorted(p.degree(v) for v in range(4)) == [1, 2, 2, 3]
+
+    def test_star(self):
+        p = pat.star(3)
+        assert p.degree(0) == 3
+        assert all(p.degree(i) == 1 for i in range(1, 4))
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize("pattern,count", [
+        (pat.triangle(), 6),
+        (pat.clique(4), 24),
+        (pat.clique(5), 120),
+        (pat.wedge(), 2),
+        (pat.chain(4), 2),
+        (pat.tailed_triangle(), 2),
+        (pat.star(3), 6),
+    ])
+    def test_group_sizes(self, pattern, count):
+        assert len(pattern.automorphisms) == count
+
+    def test_labels_restrict_automorphisms(self):
+        unlabeled = pat.wedge()
+        labeled = Pattern(3, unlabeled.edges, labels=[0, 1, 2])
+        assert len(labeled.automorphisms) == 1
+
+    def test_same_leaf_labels_keep_symmetry(self):
+        labeled = Pattern(3, pat.wedge().edges, labels=[0, 1, 1])
+        assert len(labeled.automorphisms) == 2
+
+
+class TestCanonicalKey:
+    def test_isomorphic_same_key(self):
+        a = Pattern(3, [(0, 1), (0, 2)])
+        b = Pattern(3, [(1, 0), (1, 2)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_non_isomorphic_differ(self):
+        assert pat.triangle().canonical_key() != pat.wedge().canonical_key()
+
+    def test_labeled_keys(self):
+        a = Pattern(2, [(0, 1)], labels=[0, 1])
+        b = Pattern(2, [(0, 1)], labels=[1, 0])
+        c = Pattern(2, [(0, 1)], labels=[1, 1])
+        assert a.canonical_key() == b.canonical_key()
+        assert a.canonical_key() != c.canonical_key()
+
+    def test_relabel_preserves_isomorphism(self):
+        p = pat.tailed_triangle()
+        q = p.relabel([3, 1, 0, 2])
+        assert p.canonical_key() == q.canonical_key()
+
+
+class TestMotifPatterns:
+    def test_three_motifs(self):
+        motifs = pat.motif_patterns(3)
+        assert len(motifs) == 2  # wedge + triangle
+
+    def test_four_motifs(self):
+        # The six connected 4-vertex graphs.
+        assert len(pat.motif_patterns(4)) == 6

@@ -1,0 +1,153 @@
+"""Tests for matching orders, symmetry restrictions, and plan shape."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.gpm import compile_pattern
+from repro.gpm import pattern as pat
+from repro.gpm.plan import build_plan
+from repro.gpm.symmetry import (
+    default_matching_order,
+    redundancy_factor,
+    restrictions_for_order,
+)
+
+
+class TestMatchingOrder:
+    def test_connected_order(self):
+        for pattern in [pat.tailed_triangle(), pat.chain(5), pat.clique(4)]:
+            order = default_matching_order(pattern)
+            for i in range(1, len(order)):
+                assert any(pattern.has_edge(order[j], order[i])
+                           for j in range(i))
+
+    def test_starts_at_max_degree(self):
+        order = default_matching_order(pat.tailed_triangle())
+        assert order[0] == 1  # the degree-3 vertex
+
+    def test_is_permutation(self):
+        order = default_matching_order(pat.clique(5))
+        assert sorted(order) == list(range(5))
+
+
+class TestRestrictions:
+    def test_clique_chain(self):
+        # k-clique restrictions form the full chain v0 > v1 > ... > vk.
+        order = default_matching_order(pat.clique(4))
+        res = restrictions_for_order(pat.clique(4), order)
+        assert (0, 1) in res and (1, 2) in res and (2, 3) in res
+
+    def test_wedge_single_restriction(self):
+        order = default_matching_order(pat.wedge())
+        res = restrictions_for_order(pat.wedge(), order)
+        assert len(res) == 1
+
+    def test_asymmetric_pattern_no_restrictions(self):
+        # A pattern with trivial automorphism group needs none (labels
+        # break all symmetry; the smallest asymmetric unlabeled graph
+        # has six vertices).
+        p = pat.Pattern(3, pat.wedge().edges, labels=[0, 1, 2], name="asym")
+        assert len(p.automorphisms) == 1
+        order = default_matching_order(p)
+        assert restrictions_for_order(p, order) == []
+
+    def test_tailed_triangle_matches_paper(self):
+        # Figure 2: the two symmetric triangle vertices are ordered.
+        p = pat.tailed_triangle()
+        order = default_matching_order(p)
+        res = restrictions_for_order(p, order)
+        assert len(res) == 1
+        (earlier, later) = res[0]
+        assert earlier < later
+
+    def test_redundancy_factors(self):
+        # The factors TrieJax pays without symmetry breaking (S6.3.1).
+        assert redundancy_factor(pat.triangle()) == 6
+        assert redundancy_factor(pat.clique(4)) == 24
+        assert redundancy_factor(pat.clique(5)) == 120
+
+
+class TestPlanShape:
+    def test_triangle_plan_nested(self):
+        plan = build_plan(pat.triangle(), use_nested=True)
+        assert plan.use_nested
+        assert plan.depth == 3
+
+    def test_wedge_plan_not_nested(self):
+        # The wedge's final level subtracts, so S_NESTINTER cannot apply.
+        plan = build_plan(pat.wedge(), use_nested=True)
+        assert not plan.use_nested
+
+    def test_tailed_triangle_final_level_matches_figure2(self):
+        plan = build_plan(pat.tailed_triangle())
+        last = plan.levels[-1]
+        # Figure 2(b): the tail candidates are N(v1) minus the two
+        # triangle companions' edge lists; the companions themselves are
+        # adjacent in the graph, so subtracting their edge lists already
+        # removes them (vertex-induced).
+        assert len(last.connected) == 1
+        assert len(last.disconnected) == 2
+        assert not last.subtract_matched
+
+    def test_tailed_triangle_edge_induced_subtracts_matched(self):
+        # Edge-induced matching loses the adjacency guarantee, so the
+        # matched companions need the explicit {v0, v2} subtraction.
+        plan = build_plan(pat.tailed_triangle(), vertex_induced=False)
+        last = plan.levels[-1]
+        assert len(last.subtract_positions) == 2
+
+    def test_clique_plan_never_subtracts(self):
+        plan = build_plan(pat.clique(5))
+        for level in plan.levels:
+            assert not level.disconnected
+            assert not level.subtract_matched
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(CompilerError):
+            build_plan(pat.triangle(), order=[0, 0, 1])
+
+    def test_disconnecting_order_rejected(self):
+        with pytest.raises(CompilerError):
+            build_plan(pat.chain(4), order=[0, 3, 1, 2])
+
+    def test_describe_mentions_levels(self):
+        text = build_plan(pat.clique(4)).describe()
+        assert "level 1" in text and "S_NESTINTER" in text
+
+
+class TestAssemblyEmission:
+    def test_triangle_assembly_uses_nestinter(self):
+        from repro.isa import Opcode
+
+        program = compile_pattern(pat.triangle()).assembly()
+        assert program.count(Opcode.S_NESTINTER) == 1
+        assert program.count(Opcode.S_READ) >= 1
+        assert program.count(Opcode.S_FREE) >= 1
+
+    def test_non_nested_triangle_uses_counting_intersect(self):
+        from repro.isa import Opcode
+
+        program = compile_pattern(pat.triangle(),
+                                  use_nested=False).assembly()
+        assert program.count(Opcode.S_NESTINTER) == 0
+        assert program.count(Opcode.S_INTER_C) == 1
+
+    def test_tailed_triangle_assembly_subtracts(self):
+        from repro.isa import Opcode
+
+        program = compile_pattern(pat.tailed_triangle()).assembly()
+        assert program.count(Opcode.S_SUB) + program.count(Opcode.S_SUB_C) >= 2
+
+    def test_assembly_roundtrips_through_assembler(self):
+        from repro.isa import assemble, disassemble
+
+        program = compile_pattern(pat.clique(4)).assembly()
+        text = disassemble(program)
+        reparsed = assemble(text)
+        assert len(reparsed) == len(program)
+
+    def test_stream_budget_within_registers(self):
+        for pattern in [pat.triangle(), pat.clique(5),
+                        pat.tailed_triangle(), pat.star(3)]:
+            compiled = compile_pattern(pattern)
+            assert compiled.max_active_streams() <= 16

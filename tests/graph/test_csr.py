@@ -1,0 +1,110 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.graph import CSRGraph
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    # Paper Figure 1-style toy: triangle (0,1,2) with a tail 2-3.
+    return CSRGraph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges_symmetrizes(self, triangle_plus_tail):
+        g = triangle_plus_tail
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert g.avg_degree == 0.0
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(PatternError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_bad_indptr(self):
+        with pytest.raises(PatternError):
+            CSRGraph(np.array([0, 3]), np.array([1]))
+
+    def test_from_adjacency(self):
+        g = CSRGraph.from_adjacency({0: [1, 2], 1: [2]})
+        assert g.num_edges == 3
+
+    def test_labels_length_checked(self):
+        with pytest.raises(PatternError):
+            CSRGraph.from_edges(3, [(0, 1)], labels=[1])
+
+    def test_with_labels(self, triangle_plus_tail):
+        g = triangle_plus_tail.with_labels([0, 1, 0, 1])
+        assert g.labels.tolist() == [0, 1, 0, 1]
+        assert g.num_edges == triangle_plus_tail.num_edges
+
+
+class TestAccessors:
+    def test_degrees(self, triangle_plus_tail):
+        assert triangle_plus_tail.degrees.tolist() == [2, 2, 3, 1]
+        assert triangle_plus_tail.degree(2) == 3
+        assert triangle_plus_tail.max_degree == 3
+
+    def test_neighbor_lists_sorted(self, triangle_plus_tail):
+        for v in triangle_plus_tail.vertices():
+            nbrs = triangle_plus_tail.neighbors(v)
+            assert np.all(nbrs[:-1] < nbrs[1:])
+
+    def test_has_edge(self, triangle_plus_tail):
+        assert triangle_plus_tail.has_edge(0, 1)
+        assert triangle_plus_tail.has_edge(1, 0)
+        assert not triangle_plus_tail.has_edge(0, 3)
+
+    def test_edges_iterates_once(self, triangle_plus_tail):
+        edges = list(triangle_plus_tail.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+
+class TestOffsetArray:
+    """The CSR offset array of Section 3.2: the split point between
+    smaller-than-v and larger-than-v neighbors."""
+
+    def test_offsets(self, triangle_plus_tail):
+        g = triangle_plus_tail
+        # N(2) = [0, 1, 3]; smallest neighbor > 2 is 3 at offset 2.
+        assert g.offsets[2] == 2
+        assert g.offsets[0] == 0  # all of N(0) is > 0
+
+    def test_neighbors_above_below_partition(self, triangle_plus_tail):
+        g = triangle_plus_tail
+        for v in g.vertices():
+            below = g.neighbors_below(v)
+            above = g.neighbors_above(v)
+            assert np.all(below < v)
+            assert np.all(above > v)
+            assert below.size + above.size == g.degree(v)
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self, triangle_plus_tail):
+        nxg = triangle_plus_tail.to_networkx()
+        back = CSRGraph.from_networkx(nxg)
+        assert back.num_vertices == triangle_plus_tail.num_vertices
+        assert list(back.edges()) == list(triangle_plus_tail.edges())
+
+    def test_repr(self, triangle_plus_tail):
+        assert "|V|=4" in repr(triangle_plus_tail)

@@ -1,0 +1,116 @@
+"""Tests for the synthetic graph generators and dataset registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.graph import (
+    dataset_names,
+    erdos_renyi_graph,
+    load_graph,
+    power_law_graph,
+    sample_power_law_degrees,
+    table4_rows,
+)
+from repro.graph.datasets import FIGURE_ORDER, GRAPH_REGISTRY, resolve
+from repro.graph.generators import solve_power_law_exponent
+
+
+class TestDegreeSampling:
+    def test_mean_close_to_target(self):
+        degs = sample_power_law_degrees(5000, 10.0, 200, seed=1)
+        assert 8.0 < degs.mean() < 12.0
+
+    def test_max_degree_respected(self):
+        degs = sample_power_law_degrees(1000, 5.0, 40, seed=2)
+        assert degs.max() <= 40
+        # The tail-population guarantee plants one max-degree vertex.
+        assert degs.max() == 40
+
+    def test_deterministic(self):
+        a = sample_power_law_degrees(100, 4.0, 30, seed=7)
+        b = sample_power_law_degrees(100, 4.0, 30, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_exponent_solver_monotone(self):
+        g_low = solve_power_law_exponent(20.0, 1, 100)
+        g_high = solve_power_law_exponent(3.0, 1, 100)
+        assert g_low < g_high
+
+    def test_exponent_clamps_out_of_range(self):
+        assert solve_power_law_exponent(1e9, 1, 10) == -2.0
+
+
+class TestGenerators:
+    def test_power_law_graph_valid(self):
+        g = power_law_graph(500, 8.0, 60, seed=3)
+        assert g.num_vertices == 500
+        assert 4.0 < g.avg_degree < 9.0
+        for v in (0, 100, 499):
+            nbrs = g.neighbors(v)
+            assert np.all(nbrs[:-1] < nbrs[1:])
+
+    def test_power_law_deterministic(self):
+        a = power_law_graph(200, 6.0, 40, seed=5)
+        b = power_law_graph(200, 6.0, 40, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi_graph(400, 10.0, seed=4)
+        assert abs(g.avg_degree - 10.0) < 2.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(50, 300), st.integers(2, 12), st.integers(0, 5))
+    def test_power_law_graph_always_simple(self, n, mean, seed):
+        g = power_law_graph(n, float(mean), n // 2, seed=seed)
+        # No self loops; symmetric adjacency.
+        for v in range(0, n, max(1, n // 17)):
+            nbrs = g.neighbors(v)
+            assert v not in nbrs
+            for u in nbrs[:5]:
+                assert g.has_edge(int(u), v)
+
+
+class TestRegistry:
+    def test_all_ten_datasets(self):
+        assert len(dataset_names()) == 10
+        assert set(FIGURE_ORDER) == {s.code for s in GRAPH_REGISTRY.values()}
+
+    def test_resolve_by_code_and_key(self):
+        assert resolve("E").key == "email_eu_core"
+        assert resolve("email_eu_core").code == "E"
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            resolve("facebook")
+
+    def test_load_graph_cached(self):
+        a = load_graph("citeseer")
+        b = load_graph("citeseer")
+        assert a is b
+
+    def test_load_graph_with_labels(self):
+        g = load_graph("citeseer", num_labels=4)
+        assert g.labels is not None
+        assert 0 <= g.labels.min() and g.labels.max() < 4
+
+    def test_scale_parameter(self):
+        small = load_graph("wiki_vote", scale=0.1)
+        assert small.num_vertices == 700
+
+    def test_table4_rows_schema(self):
+        rows = table4_rows(scale=0.25)
+        assert len(rows) == 10
+        for row in rows:
+            assert row["standin_V"] > 0
+            assert row["standin_E"] > 0
+            assert row["paper_maxD"] >= row["standin_maxD"] * 0  # present
+
+    def test_dense_graphs_are_denser(self):
+        # The stand-ins must preserve the dense/sparse ordering the
+        # paper's speedup analysis relies on (F, E dense; C, Y sparse).
+        dense = load_graph("F", scale=0.5).avg_degree
+        sparse = load_graph("C", scale=0.5).avg_degree
+        assert dense > 5 * sparse

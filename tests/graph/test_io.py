@@ -1,0 +1,81 @@
+"""Tests for graph I/O (edge lists and CSR snapshots)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import CSRGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.io import load_csr, load_edge_list, save_csr, save_edge_list
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = power_law_graph(60, 6.0, 20, seed=1)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        back = load_edge_list(path)
+        assert back.num_edges == g.num_edges
+        assert list(back.edges()) == list(g.edges())
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% another\n\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_id_compaction(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_explicit_num_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "wiki.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "wiki"
+
+
+class TestCsrSnapshot:
+    def test_roundtrip(self, tmp_path):
+        g = power_law_graph(80, 5.0, 25, seed=2)
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        back = load_csr(path)
+        assert np.array_equal(back.indptr, g.indptr)
+        assert np.array_equal(back.indices, g.indices)
+        assert back.labels is None
+
+    def test_labels_preserved(self, tmp_path):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3), (1, 2)],
+                                labels=[0, 1, 0, 1])
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        back = load_csr(path)
+        assert back.labels.tolist() == [0, 1, 0, 1]
+
+    def test_offsets_recomputed(self, tmp_path):
+        g = power_law_graph(40, 4.0, 12, seed=3)
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        back = load_csr(path)
+        assert np.array_equal(back.offsets, g.offsets)

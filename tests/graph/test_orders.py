@@ -1,0 +1,99 @@
+"""Tests for vertex-ordering optimizations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.gpm import run_app
+from repro.graph import CSRGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.orders import (
+    apply_degeneracy_order,
+    apply_degree_order,
+    degeneracy,
+    degeneracy_order,
+    degree_order,
+    relabel,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(200, 8.0, 60, seed=13)
+
+
+class TestRelabel:
+    def test_identity(self, graph):
+        same = relabel(graph, np.arange(graph.num_vertices))
+        assert list(same.edges()) == list(graph.edges())
+
+    def test_preserves_structure(self, graph):
+        perm = np.random.default_rng(0).permutation(graph.num_vertices)
+        out = relabel(graph, perm)
+        assert out.num_edges == graph.num_edges
+        assert sorted(out.degrees.tolist()) == \
+            sorted(graph.degrees.tolist())
+        # Edges map through the permutation.
+        for u, v in list(graph.edges())[:50]:
+            assert out.has_edge(int(perm[u]), int(perm[v]))
+
+    def test_labels_move_with_vertices(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], labels=[5, 6, 7])
+        out = relabel(g, np.array([2, 0, 1]))
+        assert out.labels.tolist() == [6, 7, 5]
+
+    def test_bad_permutation(self, graph):
+        with pytest.raises(PatternError):
+            relabel(graph, np.zeros(graph.num_vertices, dtype=np.int64))
+
+    def test_counting_invariant(self, graph):
+        """Embedding counts are isomorphism invariants: any relabeling
+        leaves every app's result unchanged."""
+        perm = np.random.default_rng(1).permutation(graph.num_vertices)
+        out = relabel(graph, perm)
+        for app in ("T", "TC", "4C"):
+            assert run_app(app, graph).count == run_app(app, out).count
+
+
+class TestDegreeOrder:
+    def test_descending_puts_hub_first(self, graph):
+        new_id = degree_order(graph)
+        hub = int(np.argmax(graph.degrees))
+        assert new_id[hub] == 0
+
+    def test_ascending(self, graph):
+        new_id = degree_order(graph, descending=False)
+        hub = int(np.argmax(graph.degrees))
+        assert new_id[hub] == graph.num_vertices - 1
+
+    def test_apply(self, graph):
+        out = apply_degree_order(graph)
+        degs = out.degrees
+        assert degs[0] == degs.max()
+
+
+class TestDegeneracyOrder:
+    def test_is_permutation(self, graph):
+        new_id = degeneracy_order(graph)
+        assert sorted(new_id.tolist()) == list(range(graph.num_vertices))
+
+    def test_bounds_below_neighbors(self, graph):
+        """Under the degeneracy order, every vertex has at most
+        `degeneracy` smaller-id neighbors."""
+        out = apply_degeneracy_order(graph)
+        d = degeneracy(graph)
+        assert int(out.offsets.max()) <= d
+        assert d <= graph.max_degree
+
+    def test_clique_degeneracy(self):
+        g = CSRGraph.from_edges(
+            5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert degeneracy(g) == 4
+
+    def test_tree_degeneracy_one(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+        assert degeneracy(g) == 1
+
+    def test_counting_invariant(self, graph):
+        out = apply_degeneracy_order(graph)
+        assert run_app("T", graph).count == run_app("T", out).count

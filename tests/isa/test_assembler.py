@@ -1,0 +1,109 @@
+"""Tests for the stream-ISA assembler/disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Opcode, Program, assemble, disassemble
+from repro.isa.assembler import is_register
+from repro.isa.spec import Instruction
+
+
+EXAMPLE = """
+# triangle counting inner step (paper Figure 3a)
+S_READ 4096, 12, 3, 0        # create the input stream n0
+S_NESTINTER 3, R5
+S_FREE 3
+"""
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        p = assemble(EXAMPLE)
+        assert len(p) == 3
+        assert p[0].opcode is Opcode.S_READ
+        assert p[0].operands == (4096, 12, 3, 0)
+        assert p[1].operands == (3, "R5")
+
+    def test_comments_preserved(self):
+        p = assemble(EXAMPLE)
+        assert p.comments[0] == "create the input stream n0"
+
+    def test_blank_lines_and_full_comments_skipped(self):
+        p = assemble("\n\n# nothing\n\nS_FREE 1\n")
+        assert len(p) == 1
+
+    def test_hex_immediates(self):
+        p = assemble("S_READ 0x1000, 8, 1, 0")
+        assert p[0].operands[0] == 0x1000
+
+    def test_float_scales(self):
+        p = assemble("S_VMERGE 2.0, 3.0, 1, 2, 4")
+        assert p[0].operands[:2] == (2.0, 3.0)
+
+    def test_value_op_mnemonic(self):
+        p = assemble("S_VINTER 1, 2, R3, MAC")
+        assert p[0].operand("imm") == "MAC"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("S_BOGUS 1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblerError, match="takes 1 operand"):
+            assemble("S_FREE 1, 2")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblerError, match="cannot parse"):
+            assemble("S_FREE 1@2")
+
+    def test_empty_operand(self):
+        with pytest.raises(AssemblerError, match="empty operand"):
+            assemble("S_FREE 1,,")
+
+
+class TestDisassemble:
+    def test_roundtrip(self):
+        p = assemble(EXAMPLE)
+        text = disassemble(p)
+        p2 = assemble(text)
+        assert [i.operands for i in p2] == [i.operands for i in p]
+        assert [i.opcode for i in p2] == [i.opcode for i in p]
+        assert p2.comments == p.comments
+
+    def test_str_uses_disassembler(self):
+        p = assemble("S_FREE 1")
+        assert str(p) == "S_FREE 1"
+
+
+class TestProgram:
+    def test_emit_and_count(self):
+        p = Program()
+        p.emit(Opcode.S_READ, 0, 4, 1, 0)
+        p.emit(Opcode.S_READ, 16, 4, 2, 0)
+        p.emit(Opcode.S_INTER, 1, 2, 3, -1, comment="core op")
+        assert p.count(Opcode.S_READ) == 2
+        assert p.count(Opcode.S_INTER) == 1
+        assert p.comments[2] == "core op"
+
+    def test_extend_shifts_comments(self):
+        a = Program()
+        a.emit(Opcode.S_FREE, 1)
+        b = Program()
+        b.emit(Opcode.S_FREE, 2, comment="second")
+        a.extend(b)
+        assert len(a) == 2
+        assert a.comments[1] == "second"
+
+    def test_getitem_iter(self):
+        p = assemble("S_FREE 1\nS_FREE 2")
+        assert p[1].operands == (2,)
+        assert [i.opcode for i in p] == [Opcode.S_FREE, Opcode.S_FREE]
+
+
+class TestRegisters:
+    @pytest.mark.parametrize("token,ok", [
+        ("R0", True), ("R31", True), ("F0", True), ("F7", True),
+        ("R32", False), ("F8", False), ("X1", False), (5, False),
+    ])
+    def test_is_register(self, token, ok):
+        assert is_register(token) is ok

@@ -1,0 +1,83 @@
+"""Tests asserting the ISA specification reproduces Table 1 of the paper."""
+
+import pytest
+
+from repro.isa import INSTRUCTION_SET, Instruction, Opcode
+from repro.isa.spec import EOS, instruction
+
+
+class TestTable1:
+    def test_fourteen_instructions(self):
+        assert len(Opcode) == 14
+        assert len(INSTRUCTION_SET) == 14
+
+    def test_mnemonics_match_paper(self):
+        expected = {
+            "S_READ", "S_VREAD", "S_FREE", "S_FETCH",
+            "S_SUB", "S_SUB.C", "S_INTER", "S_INTER.C", "S_VINTER",
+            "S_MERGE", "S_MERGE.C", "S_VMERGE", "S_LD_GFR", "S_NESTINTER",
+        }
+        assert {str(op) for op in Opcode} == expected
+
+    @pytest.mark.parametrize(
+        "opcode,arity",
+        [
+            (Opcode.S_READ, 4),       # R0-R3
+            (Opcode.S_VREAD, 5),      # R0-R4
+            (Opcode.S_FREE, 1),       # R0
+            (Opcode.S_FETCH, 3),      # R0-R2
+            (Opcode.S_SUB, 4),
+            (Opcode.S_SUB_C, 4),
+            (Opcode.S_INTER, 4),
+            (Opcode.S_INTER_C, 4),
+            (Opcode.S_VINTER, 4),     # R0-R2 + IMM
+            (Opcode.S_MERGE, 3),
+            (Opcode.S_MERGE_C, 3),
+            (Opcode.S_VMERGE, 5),     # F0,F1 + R0-R2
+            (Opcode.S_LD_GFR, 3),
+            (Opcode.S_NESTINTER, 2),
+        ],
+    )
+    def test_operand_arity_matches_table(self, opcode, arity):
+        assert INSTRUCTION_SET[opcode].arity == arity
+
+    def test_compute_ops_carry_bound(self):
+        # The four bounded ops expose the early-termination operand R3.
+        for opcode in (Opcode.S_SUB, Opcode.S_SUB_C, Opcode.S_INTER,
+                       Opcode.S_INTER_C):
+            assert "bound" in INSTRUCTION_SET[opcode].operand_names
+
+    def test_merge_is_unbounded(self):
+        # Table 1: S_MERGE has no upper-bound operand.
+        assert "bound" not in INSTRUCTION_SET[Opcode.S_MERGE].operand_names
+
+    def test_vmerge_has_two_scales(self):
+        roles = INSTRUCTION_SET[Opcode.S_VMERGE].operand_roles
+        assert roles.count("scale") == 2
+
+    def test_descriptions_present(self):
+        for spec in INSTRUCTION_SET.values():
+            assert spec.description
+
+    def test_eos_sentinel(self):
+        assert EOS == -1
+
+
+class TestInstruction:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.S_FREE, (1, 2))
+
+    def test_operand_by_name(self):
+        i = Instruction(Opcode.S_INTER, (3, 7, 9, -1))
+        assert i.operand("sid_a") == 3
+        assert i.operand("sid_out") == 9
+        assert i.operand("bound") == -1
+
+    def test_str(self):
+        i = Instruction(Opcode.S_INTER_C, (3, 7, "R2", -1))
+        assert str(i) == "S_INTER.C 3, 7, R2, -1"
+
+    def test_instruction_helper_parses_mnemonic(self):
+        i = instruction("s_free", 5)
+        assert i.opcode is Opcode.S_FREE

@@ -1,0 +1,125 @@
+"""Property-based tests: stream ops agree with Python set semantics and
+the run analysis is internally consistent on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import ops
+from repro.streams.runstats import SU_BUFFER_WIDTH, analyze_pair
+
+key_sets = st.frozensets(st.integers(min_value=0, max_value=300), max_size=80)
+bounds = st.one_of(st.just(-1), st.integers(min_value=0, max_value=320))
+
+
+def arr(s):
+    return np.array(sorted(s), dtype=np.int64)
+
+
+@given(key_sets, key_sets)
+def test_intersect_matches_set_semantics(sa, sb):
+    assert set(ops.intersect(arr(sa), arr(sb)).tolist()) == (sa & sb)
+
+
+@given(key_sets, key_sets)
+def test_subtract_matches_set_semantics(sa, sb):
+    assert set(ops.subtract(arr(sa), arr(sb)).tolist()) == (sa - sb)
+
+
+@given(key_sets, key_sets)
+def test_merge_matches_set_semantics(sa, sb):
+    assert set(ops.merge(arr(sa), arr(sb)).tolist()) == (sa | sb)
+
+
+@given(key_sets, key_sets, bounds)
+def test_bounded_ops_filter_below_bound(sa, sb, bound):
+    expect_i = {k for k in (sa & sb) if bound < 0 or k < bound}
+    expect_s = {k for k in (sa - sb) if bound < 0 or k < bound}
+    assert set(ops.intersect(arr(sa), arr(sb), bound).tolist()) == expect_i
+    assert set(ops.subtract(arr(sa), arr(sb), bound).tolist()) == expect_s
+
+
+@given(key_sets, key_sets, bounds)
+def test_count_variants_match_materialized(sa, sb, bound):
+    a, b = arr(sa), arr(sb)
+    assert ops.intersect_count(a, b, bound) == len(ops.intersect(a, b, bound))
+    assert ops.subtract_count(a, b, bound) == len(ops.subtract(a, b, bound))
+    assert ops.merge_count(a, b) == len(ops.merge(a, b))
+
+
+@given(key_sets, key_sets)
+def test_results_are_sorted_and_unique(sa, sb):
+    for out in (
+        ops.intersect(arr(sa), arr(sb)),
+        ops.subtract(arr(sa), arr(sb)),
+        ops.merge(arr(sa), arr(sb)),
+    ):
+        assert np.all(out[:-1] < out[1:]) if out.size > 1 else True
+
+
+@given(key_sets, key_sets)
+def test_intersect_commutative_subtract_antisymmetric(sa, sb):
+    a, b = arr(sa), arr(sb)
+    assert ops.intersect(a, b).tolist() == ops.intersect(b, a).tolist()
+    # |A| = |A-B| + |A∩B|
+    assert len(sa) == ops.subtract_count(a, b) + ops.intersect_count(a, b)
+
+
+@given(key_sets, key_sets, bounds)
+def test_runstats_consistent_with_ops(sa, sb, bound):
+    a, b = arr(sa), arr(sb)
+    stats = analyze_pair(a, b, bound)
+    assert stats.intersect_len == ops.intersect_count(a, b, bound)
+    assert stats.subtract_len == ops.subtract_count(a, b, bound)
+    if bound < 0:
+        assert stats.merge_len == ops.merge_count(a, b)
+    # Inclusion-exclusion on the effective operands.
+    assert stats.n_union == stats.eff_a + stats.eff_b - stats.n_matches
+
+
+@given(key_sets, key_sets)
+def test_su_cycles_bounds(sa, sb):
+    """SU cycles are at least the windowed lower bound and at most the
+    scalar step count (the SU is never slower than the scalar loop)."""
+    a, b = arr(sa), arr(sb)
+    stats = analyze_pair(a, b)
+    lower = int(np.ceil(stats.n_union / SU_BUFFER_WIDTH)) if stats.n_union else 0
+    assert lower <= stats.su_cycles_submerge <= stats.su_cycles_intersect
+    assert stats.su_cycles_intersect <= stats.cpu_steps
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.tuples(st.integers(0, 200), st.floats(-10, 10)), max_size=40),
+    st.lists(st.tuples(st.integers(0, 200), st.floats(-10, 10)), max_size=40),
+)
+def test_vinter_matches_dict_dot(pa, pb):
+    da = dict(pa)
+    db = dict(pb)
+    ak = np.array(sorted(da), dtype=np.int64)
+    bk = np.array(sorted(db), dtype=np.int64)
+    av = np.array([da[k] for k in sorted(da)])
+    bv = np.array([db[k] for k in sorted(db)])
+    expect = sum(da[k] * db[k] for k in set(da) & set(db))
+    got = ops.vinter(ak, av, bk, bv, "MAC")
+    np.testing.assert_allclose(got, expect, atol=1e-9)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.tuples(st.integers(0, 200), st.floats(-10, 10)), max_size=40),
+    st.lists(st.tuples(st.integers(0, 200), st.floats(-10, 10)), max_size=40),
+    st.floats(-3, 3),
+    st.floats(-3, 3),
+)
+def test_vmerge_matches_dict_axpy(pa, pb, alpha, beta):
+    da = dict(pa)
+    db = dict(pb)
+    ak = np.array(sorted(da), dtype=np.int64)
+    bk = np.array(sorted(db), dtype=np.int64)
+    av = np.array([da[k] for k in sorted(da)])
+    bv = np.array([db[k] for k in sorted(db)])
+    out_k, out_v = ops.vmerge(alpha, ak, av, beta, bk, bv)
+    expect = {k: alpha * da.get(k, 0.0) + beta * db.get(k, 0.0) for k in set(da) | set(db)}
+    assert out_k.tolist() == sorted(expect)
+    np.testing.assert_allclose(out_v, [expect[k] for k in sorted(expect)], atol=1e-9)

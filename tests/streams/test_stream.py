@@ -1,0 +1,119 @@
+"""Unit tests for the Stream and ValueStream containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamLengthMismatchError, UnsortedStreamError
+from repro.streams import Stream, ValueStream
+
+
+class TestStreamConstruction:
+    def test_from_list(self):
+        s = Stream([1, 4, 9])
+        assert len(s) == 3
+        assert s.keys.dtype == np.int64
+
+    def test_empty(self):
+        s = Stream([])
+        assert len(s) == 0
+        assert s.nbytes == 0
+
+    def test_single_element(self):
+        assert len(Stream([42])) == 1
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(UnsortedStreamError):
+            Stream([3, 1, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(UnsortedStreamError):
+            Stream([1, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(UnsortedStreamError):
+            Stream(np.zeros((2, 2), dtype=np.int64))
+
+    def test_from_unsorted_sorts_and_dedups(self):
+        s = Stream.from_unsorted([5, 1, 5, 3])
+        assert s.keys.tolist() == [1, 3, 5]
+
+    def test_validate_false_skips_check(self):
+        # Internal fast path: caller guarantees sortedness.
+        s = Stream(np.array([1, 2, 3], dtype=np.int64), validate=False)
+        assert len(s) == 3
+
+    def test_nbytes_is_four_per_key(self):
+        # The paper's 64-key slot is 256 bytes -> 4 bytes per key.
+        assert Stream(range(0, 128, 2)).nbytes == 64 * 4
+
+
+class TestStreamProtocol:
+    def test_iteration_yields_python_ints(self):
+        assert list(Stream([2, 5])) == [2, 5]
+        assert all(isinstance(k, int) for k in Stream([2, 5]))
+
+    def test_getitem(self):
+        assert Stream([2, 5, 8])[1] == 5
+
+    def test_equality(self):
+        assert Stream([1, 2]) == Stream([1, 2])
+        assert Stream([1, 2]) != Stream([1, 3])
+        assert Stream([1, 2]) != Stream([1, 2, 3])
+
+    def test_key_stream_not_equal_value_stream(self):
+        assert Stream([1, 2]) != ValueStream([1, 2], [0.5, 1.5])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Stream([1]))
+
+    def test_repr_truncates(self):
+        r = repr(Stream(range(100)))
+        assert "..." in r and "len=100" in r
+
+
+class TestValueStream:
+    def test_construction(self):
+        vs = ValueStream([1, 3], [0.5, 2.5])
+        assert vs.has_values()
+        assert vs.values.dtype == np.float64
+
+    def test_length_mismatch(self):
+        with pytest.raises(StreamLengthMismatchError):
+            ValueStream([1, 2, 3], [1.0])
+
+    def test_from_pairs(self):
+        vs = ValueStream.from_pairs([(1, 45.0), (3, 21.0), (7, 13.0)])
+        assert vs.pairs() == [(1, 45.0), (3, 21.0), (7, 13.0)]
+
+    def test_equality_includes_values(self):
+        assert ValueStream([1], [2.0]) == ValueStream([1], [2.0])
+        assert ValueStream([1], [2.0]) != ValueStream([1], [3.0])
+
+
+class TestConvenienceOps:
+    def test_intersect(self):
+        assert Stream([1, 3, 7]).intersect(Stream([2, 5, 7])) == Stream([7])
+
+    def test_subtract(self):
+        assert Stream([1, 3, 7]).subtract(Stream([3])) == Stream([1, 7])
+
+    def test_merge(self):
+        assert Stream([1, 3]).merge(Stream([2])) == Stream([1, 2, 3])
+
+    def test_bounded_intersect(self):
+        s = Stream([1, 3, 7, 9]).intersect(Stream([1, 7, 9]), bound=8)
+        assert s == Stream([1, 7])
+
+    def test_dot_matches_paper_example(self):
+        # Section 3.3: MAC over [(1,45),(3,21),(7,13)] and [(2,14),(5,36),(7,2)]
+        a = ValueStream([1, 3, 7], [45.0, 21.0, 13.0])
+        b = ValueStream([2, 5, 7], [14.0, 36.0, 2.0])
+        assert a.dot(b) == 26.0
+
+    def test_axpy_matches_paper_example(self):
+        # Section 3.3: scales 2,3 over [(1,4),(3,21)] and [(1,1),(5,36)]
+        a = ValueStream([1, 3], [4.0, 21.0])
+        b = ValueStream([1, 5], [1.0, 36.0])
+        out = a.axpy(2.0, b, 3.0)
+        assert out == ValueStream([1, 3, 5], [11.0, 42.0, 108.0])

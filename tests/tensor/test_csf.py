@@ -1,0 +1,84 @@
+"""Unit and property tests for the CSF tensor substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.tensor import CSFTensor
+
+
+def make_coo(shape, flat_positions, vals):
+    si, sj, sk = shape
+    flat = np.asarray(flat_positions, dtype=np.int64)
+    k = flat % sk
+    ij = flat // sk
+    coords = np.stack([ij // sj, ij % sj, k], axis=1)
+    return coords, np.asarray(vals, dtype=np.float64)
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        coords = [[0, 0, 1], [0, 0, 3], [0, 2, 0], [4, 1, 1]]
+        t = CSFTensor.from_coo((5, 3, 4), coords, [1.0, 2.0, 3.0, 4.0])
+        assert t.nnz == 4
+        assert t.i_keys.tolist() == [0, 4]
+        assert t.num_fibers == 3  # (0,0), (0,2), (4,1)
+
+    def test_duplicates_summed(self):
+        t = CSFTensor.from_coo((2, 2, 2), [[0, 0, 0], [0, 0, 0]], [1.0, 2.0])
+        assert t.nnz == 1
+        assert t.vals.tolist() == [3.0]
+
+    def test_out_of_range(self):
+        with pytest.raises(StreamError):
+            CSFTensor.from_coo((2, 2, 2), [[0, 0, 5]], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(StreamError):
+            CSFTensor.from_coo((2, 2, 2), [[0, 0, 0]], [1.0, 2.0])
+
+    def test_not_3mode(self):
+        with pytest.raises(StreamError):
+            CSFTensor((2, 2), np.array([]), np.array([0]), np.array([]),
+                      np.array([0]), np.array([]), np.array([]))
+
+    def test_empty(self):
+        t = CSFTensor.from_coo((3, 3, 3), np.zeros((0, 3)), [])
+        assert t.nnz == 0
+        assert list(t.fibers()) == []
+
+
+class TestFibers:
+    def test_fibers_sorted_keys(self):
+        rng = np.random.default_rng(0)
+        flat = rng.choice(5 * 6 * 7, size=40, replace=False)
+        coords, vals = make_coo((5, 6, 7), flat, rng.random(40))
+        t = CSFTensor.from_coo((5, 6, 7), coords, vals)
+        for _, _, kk, _ in t.fibers():
+            assert np.all(kk[:-1] < kk[1:])
+
+    def test_fiber_order_is_lexicographic(self):
+        coords = [[1, 1, 0], [0, 1, 0], [0, 0, 0]]
+        t = CSFTensor.from_coo((2, 2, 2), coords, [1.0, 2.0, 3.0])
+        ij = [(i, j) for i, j, _, _ in t.fibers()]
+        assert ij == sorted(ij)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+           st.integers(0, 50), st.integers(0, 1000))
+    def test_dense_roundtrip(self, si, sj, sk, nnz, seed):
+        rng = np.random.default_rng(seed)
+        total = si * sj * sk
+        flat = rng.choice(total, size=min(nnz, total), replace=False)
+        coords, vals = make_coo((si, sj, sk), flat, rng.uniform(0.5, 1.0, flat.size))
+        t = CSFTensor.from_coo((si, sj, sk), coords, vals)
+        dense = t.to_dense()
+        assert (dense != 0).sum() == t.nnz
+        for i, j, kk, vv in t.fibers():
+            np.testing.assert_allclose(dense[i, j, kk], vv)
+
+    def test_density(self):
+        t = CSFTensor.from_coo((2, 2, 2), [[0, 0, 0]], [1.0])
+        assert t.density == 1 / 8

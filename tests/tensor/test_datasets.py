@@ -1,0 +1,93 @@
+"""Tests for the Table 5 dataset registry and structure generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.tensor import (
+    load_matrix,
+    load_tensor,
+    matrix_names,
+    table5_rows,
+    tensor_names,
+)
+from repro.tensor.datasets import (
+    MATRIX_FIGURE_ORDER,
+    MATRIX_REGISTRY,
+    TENSOR_REGISTRY,
+    banded_matrix,
+    block_dense_matrix,
+)
+
+
+class TestRegistry:
+    def test_eleven_matrices_two_tensors(self):
+        assert len(matrix_names()) == 11
+        assert len(tensor_names()) == 2
+
+    def test_codes_unique_and_cover_figure(self):
+        codes = {s.code for s in MATRIX_REGISTRY.values()}
+        assert len(codes) == 11
+        assert set(MATRIX_FIGURE_ORDER) == codes
+
+    def test_load_by_key_and_code(self):
+        assert load_matrix("tsopf") == load_matrix("T")
+        assert load_tensor("chicago_crime").nnz == load_tensor("Ch").nnz
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            load_matrix("netflix")
+        with pytest.raises(DatasetError):
+            load_tensor("netflix")
+
+    def test_deterministic(self):
+        load_matrix.cache_clear()
+        a = load_matrix("laser")
+        load_matrix.cache_clear()
+        b = load_matrix("laser")
+        assert a == b
+
+    def test_table5_rows_complete(self):
+        rows = table5_rows()
+        assert len(rows) == 13
+        assert all(r["standin_nnz"] > 0 for r in rows)
+
+
+class TestStructureCharacter:
+    def test_tsopf_has_dominant_column_density(self):
+        """Section 6.9.1: TSOPF's high nnz-per-column drives its speedup;
+        the stand-in must keep it the clear maximum."""
+        per_col_max = {}
+        for name in matrix_names():
+            m = load_matrix(name)
+            per_col_max[name] = np.bincount(
+                m.indices, minlength=m.shape[1]
+            ).max()
+        top = max(per_col_max, key=per_col_max.get)
+        assert top == "tsopf"
+
+    def test_density_ordering_preserved(self):
+        """The densest (TSOPF/piston/ex19) and the sparsest (laser,
+        grid2, california) stand-ins keep their relative ordering."""
+        dens = {name: load_matrix(name).density for name in matrix_names()}
+        assert dens["tsopf"] > dens["laser"]
+        assert dens["piston"] > dens["california"]
+        assert dens["ex19"] > dens["grid2"]
+
+    def test_banded_matrix_stays_near_diagonal(self):
+        m = banded_matrix(100, 4.0, seed=0)
+        for i in range(100):
+            keys = m.row_keys(i)
+            if keys.size:
+                assert np.abs(keys - i).max() <= 8
+
+    def test_block_dense_has_full_diagonal(self):
+        m = block_dense_matrix(50, 10.0, seed=0)
+        assert all(i in m.row_keys(i) for i in range(50))
+
+    def test_tensors_density_ordering(self):
+        ch = load_tensor("Ch")
+        u = load_tensor("U")
+        assert ch.density > u.density
+        for spec in TENSOR_REGISTRY.values():
+            assert spec.paper_density > 0

@@ -1,0 +1,107 @@
+"""Tests for MatrixMarket and FROSTT tensor I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.tensor import CSFTensor, SparseMatrix
+from repro.tensor.io import (
+    load_frostt,
+    load_matrix_market,
+    save_frostt,
+    save_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((12, 9)) < 0.3) * rng.random((12, 9))
+        m = SparseMatrix.from_dense(dense)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(m, path)
+        back = load_matrix_market(path)
+        assert back.shape == m.shape
+        np.testing.assert_allclose(back.to_dense(), m.to_dense())
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 7.0\n"
+        )
+        m = load_matrix_market(path)
+        assert m.nnz == 3  # (1,0), (0,1), (2,2)
+        assert m.to_dense()[0, 1] == 5.0
+        assert m.to_dense()[1, 0] == 5.0
+
+    def test_pattern_matrices_get_unit_values(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        m = load_matrix_market(path)
+        assert m.to_dense()[0, 1] == 1.0
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n"
+            "1 1 3.5\n"
+        )
+        assert load_matrix_market(path).nnz == 1
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(DatasetError, match="header"):
+            load_matrix_market(path)
+
+    def test_array_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(DatasetError, match="coordinate"):
+            load_matrix_market(path)
+
+
+class TestFrostt:
+    def make_tensor(self):
+        coords = [[0, 0, 1], [1, 2, 3], [4, 1, 0]]
+        return CSFTensor.from_coo((5, 3, 4), coords, [1.5, 2.5, 3.5])
+
+    def test_roundtrip(self, tmp_path):
+        t = self.make_tensor()
+        path = tmp_path / "t.tns"
+        save_frostt(t, path)
+        back = load_frostt(path, shape=t.shape)
+        np.testing.assert_allclose(back.to_dense(), t.to_dense())
+
+    def test_shape_inferred(self, tmp_path):
+        t = self.make_tensor()
+        path = tmp_path / "t.tns"
+        save_frostt(t, path)
+        back = load_frostt(path)
+        assert back.shape == (5, 3, 4)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# hi\n1 1 1 2.0\n")
+        assert load_frostt(path).nnz == 1
+
+    def test_wrong_arity(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1 1 2.0\n")
+        with pytest.raises(DatasetError, match="3-mode"):
+            load_frostt(path)
+
+    def test_empty_needs_shape(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError, match="shape"):
+            load_frostt(path)

@@ -1,0 +1,101 @@
+"""Unit and property tests for the SparseMatrix substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.tensor import SparseMatrix
+
+
+class TestConstruction:
+    def test_from_coo(self):
+        m = SparseMatrix.from_coo((2, 3), [0, 1, 1], [2, 0, 1], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+        assert m.row_keys(1).tolist() == [0, 1]
+        assert m.row_vals(1).tolist() == [2.0, 3.0]
+
+    def test_duplicates_summed(self):
+        m = SparseMatrix.from_coo((2, 2), [0, 0], [1, 1], [1.5, 2.5])
+        assert m.nnz == 1
+        assert m.row_vals(0).tolist() == [4.0]
+
+    def test_out_of_range(self):
+        with pytest.raises(StreamError):
+            SparseMatrix.from_coo((2, 2), [0], [5], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(StreamError):
+            SparseMatrix.from_coo((2, 2), [0, 1], [0], [1.0])
+
+    def test_empty(self):
+        m = SparseMatrix.from_coo((3, 3), [], [], [])
+        assert m.nnz == 0
+        assert m.density == 0.0
+
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[0.0, 2.0], [3.0, 0.0]])
+        m = SparseMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_from_scipy(self):
+        sp = pytest.importorskip("scipy.sparse")
+        s = sp.random(20, 30, density=0.2, random_state=0, format="csr")
+        m = SparseMatrix.from_scipy(s)
+        np.testing.assert_allclose(m.to_dense(), s.toarray())
+
+    def test_bad_indptr_shape(self):
+        with pytest.raises(StreamError):
+            SparseMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_data_indices_mismatch(self):
+        with pytest.raises(StreamError):
+            SparseMatrix((1, 2), np.array([0, 1]), np.array([0]),
+                         np.array([1.0, 2.0]))
+
+
+class TestAccessors:
+    def test_rows_are_sorted_streams(self):
+        rng = np.random.default_rng(3)
+        m = SparseMatrix.from_coo(
+            (10, 50),
+            rng.integers(0, 10, 100),
+            rng.integers(0, 50, 100),
+            rng.random(100),
+        )
+        for i in range(10):
+            keys = m.row_keys(i)
+            assert np.all(keys[:-1] < keys[1:])
+            assert m.row_nnz(i) == keys.size
+
+    def test_row_stream(self):
+        m = SparseMatrix.from_coo((1, 5), [0, 0], [1, 4], [2.0, 3.0])
+        vs = m.row_stream(0)
+        assert vs.pairs() == [(1, 2.0), (4, 3.0)]
+
+    def test_stats(self):
+        m = SparseMatrix.from_coo((4, 4), [0, 1, 2], [1, 2, 3], [1, 1, 1])
+        assert m.density == 3 / 16
+        assert m.avg_nnz_per_row == 0.75
+
+    def test_unhashable(self):
+        m = SparseMatrix.from_coo((1, 1), [], [], [])
+        with pytest.raises(TypeError):
+            hash(m)
+
+
+class TestTranspose:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 100))
+    def test_transpose_matches_dense(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((m, n)) < 0.3) * rng.random((m, n))
+        mat = SparseMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.transpose().to_dense(), dense.T)
+
+    def test_double_transpose_identity(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((7, 9)) < 0.4) * rng.random((7, 9))
+        mat = SparseMatrix.from_dense(dense)
+        assert mat.transpose().transpose() == mat

@@ -1,0 +1,110 @@
+"""Correctness and shape tests for the three spmspm dataflows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import CpuModel, SparseCoreModel
+from repro.machine.context import Machine
+from repro.tensor import SparseMatrix
+from repro.tensorops import (
+    spmspm_dense_reference,
+    spmspm_gustavson,
+    spmspm_inner,
+    spmspm_outer,
+)
+
+DATAFLOWS = {
+    "inner": spmspm_inner,
+    "outer": spmspm_outer,
+    "gustavson": spmspm_gustavson,
+}
+
+
+def random_matrix(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((m, n)) < density) * rng.uniform(0.1, 1.0, (m, n))
+    return SparseMatrix.from_dense(dense)
+
+
+@pytest.mark.parametrize("name,fn", DATAFLOWS.items())
+class TestCorrectness:
+    def test_matches_dense(self, name, fn):
+        a = random_matrix(20, 16, 0.2, 1)
+        b = random_matrix(16, 24, 0.2, 2)
+        c = fn(a, b, Machine())
+        np.testing.assert_allclose(c.to_dense(),
+                                   spmspm_dense_reference(a, b), atol=1e-12)
+
+    def test_empty_operands(self, name, fn):
+        a = SparseMatrix.from_coo((4, 4), [], [], [])
+        b = random_matrix(4, 4, 0.5, 3)
+        c = fn(a, b, Machine())
+        assert c.nnz == 0
+
+    def test_identity(self, name, fn):
+        eye = SparseMatrix.from_dense(np.eye(8))
+        b = random_matrix(8, 8, 0.4, 4)
+        c = fn(eye, b, Machine())
+        np.testing.assert_allclose(c.to_dense(), b.to_dense(), atol=1e-12)
+
+    def test_rectangular(self, name, fn):
+        a = random_matrix(5, 11, 0.3, 5)
+        b = random_matrix(11, 7, 0.3, 6)
+        c = fn(a, b, Machine())
+        assert c.shape == (5, 7)
+        np.testing.assert_allclose(c.to_dense(),
+                                   spmspm_dense_reference(a, b), atol=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 10), st.integers(2, 10), st.integers(2, 10),
+       st.integers(0, 1000))
+def test_all_dataflows_agree(m, k, n, seed):
+    a = random_matrix(m, k, 0.35, seed)
+    b = random_matrix(k, n, 0.35, seed + 1)
+    results = [fn(a, b, Machine()).to_dense() for fn in DATAFLOWS.values()]
+    np.testing.assert_allclose(results[0], results[1], atol=1e-12)
+    np.testing.assert_allclose(results[0], results[2], atol=1e-12)
+
+
+class TestCostShape:
+    """The trace-level properties behind Figure 15/16's trends."""
+
+    def setup_method(self):
+        # Registry-like sparsity (the trends need realistic reuse).
+        self.a = random_matrix(150, 150, 0.03, 11)
+        self.b = random_matrix(150, 150, 0.03, 12)
+
+    def _speedup(self, fn):
+        m = Machine()
+        fn(self.a, self.b, m)
+        return SparseCoreModel().cost(m.trace).speedup_over(
+            CpuModel().cost(m.trace))
+
+    def test_inner_has_most_ops(self):
+        traces = {}
+        for name, fn in DATAFLOWS.items():
+            m = Machine()
+            fn(self.a, self.b, m)
+            traces[name] = m.trace.num_ops
+        assert traces["inner"] > traces["outer"]
+        assert traces["inner"] > traces["gustavson"]
+
+    def test_inner_speedup_highest(self):
+        # Section 6.9.1: inner-product gains the most from SparseCore.
+        speeds = {name: self._speedup(fn) for name, fn in DATAFLOWS.items()}
+        assert speeds["inner"] > speeds["outer"]
+        assert speeds["inner"] > speeds["gustavson"]
+
+    def test_gustavson_fastest_on_cpu(self):
+        # Section 6.9.1: "Gustavson executes faster than the other two
+        # algorithms on CPU".
+        totals = {}
+        for name, fn in DATAFLOWS.items():
+            m = Machine()
+            fn(self.a, self.b, m)
+            totals[name] = CpuModel().cost(m.trace).total_cycles
+        assert totals["gustavson"] < totals["inner"]
+        assert totals["gustavson"] < totals["outer"]

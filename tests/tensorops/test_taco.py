@@ -1,0 +1,98 @@
+"""Tests for the mini tensor-algebra compiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilerError
+from repro.isa import Opcode
+from repro.machine.context import Machine
+from repro.tensor import SparseMatrix
+from repro.tensorops import compile_expression
+from repro.tensorops.taco import parse_expression
+from repro.tensorops import spmspm_dense_reference
+
+
+class TestParser:
+    def test_spmspm_expression(self):
+        expr = parse_expression("C(i,j) = A(i,k) * B(k,j)")
+        assert expr.output.name == "C"
+        assert expr.contracted == ("k",)
+
+    def test_ttv_expression(self):
+        expr = parse_expression("Z(i,j) = A(i,j,k) * B(k)")
+        assert expr.lhs.order == 3
+        assert expr.rhs.order == 1
+
+    def test_whitespace_tolerant(self):
+        expr = parse_expression("  C( i , j )=A(i,k)*B(k,j) ")
+        assert expr.output.indices == ("i", "j")
+
+    def test_missing_equals(self):
+        with pytest.raises(CompilerError):
+            parse_expression("C(i,j) A(i,k) * B(k,j)")
+
+    def test_bad_reference(self):
+        with pytest.raises(CompilerError):
+            parse_expression("C(i,j) = A[i,k] * B(k,j)")
+
+    def test_repeated_index_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_expression("C(i,i) = A(i,k) * B(k,i)")
+
+    def test_unbound_output_index(self):
+        with pytest.raises(CompilerError):
+            parse_expression("C(i,z) = A(i,k) * B(k,j)")
+
+
+class TestCompile:
+    def test_spmspm_kinds(self):
+        for dataflow in ("inner", "outer", "gustavson"):
+            kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
+            assert kernel.kind == "spmspm"
+            assert kernel.dataflow == dataflow
+
+    def test_unknown_dataflow(self):
+        with pytest.raises(CompilerError):
+            compile_expression("C(i,j) = A(i,k) * B(k,j)", "systolic")
+
+    def test_ttv_kind(self):
+        assert compile_expression("Z(i,j) = A(i,j,k) * B(k)").kind == "ttv"
+
+    def test_ttm_kind(self):
+        assert compile_expression("Z(i,j,k) = A(i,j,l) * B(k,l)").kind == "ttm"
+
+    def test_unsupported_shape(self):
+        with pytest.raises(CompilerError, match="unsupported"):
+            compile_expression("C(i) = A(i,j) * B(j)")
+
+    def test_compiled_spmspm_runs(self):
+        rng = np.random.default_rng(0)
+        dense_a = (rng.random((10, 8)) < 0.3) * rng.random((10, 8))
+        dense_b = (rng.random((8, 12)) < 0.3) * rng.random((8, 12))
+        a, b = SparseMatrix.from_dense(dense_a), SparseMatrix.from_dense(dense_b)
+        for dataflow in ("inner", "outer", "gustavson"):
+            kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
+            c = kernel.run(a, b, Machine())
+            np.testing.assert_allclose(c.to_dense(),
+                                       spmspm_dense_reference(a, b),
+                                       atol=1e-12)
+
+
+class TestAssembly:
+    def test_inner_uses_vinter(self):
+        kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", "inner")
+        asm = kernel.assembly()
+        assert asm.count(Opcode.S_VINTER) == 1
+        assert asm.count(Opcode.S_VREAD) == 2
+        assert asm.count(Opcode.S_FREE) == 2
+
+    def test_gustavson_uses_vmerge(self):
+        # Figure 4(d): the Gustavson kernel is an S_VMERGE.
+        kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", "gustavson")
+        assert kernel.assembly().count(Opcode.S_VMERGE) == 1
+
+    def test_ttv_ttm_assembly(self):
+        for text in ("Z(i,j) = A(i,j,k) * B(k)",
+                     "Z(i,j,k) = A(i,j,l) * B(k,l)"):
+            asm = compile_expression(text).assembly()
+            assert asm.count(Opcode.S_VINTER) == 1

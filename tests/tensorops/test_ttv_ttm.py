@@ -1,0 +1,100 @@
+"""Correctness tests for TTV and TTM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.context import Machine
+from repro.tensor import CSFTensor, SparseMatrix
+from repro.tensorops import ttm, ttm_dense_reference, ttv, ttv_dense_reference
+
+
+def random_tensor(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    total = shape[0] * shape[1] * shape[2]
+    nnz = max(1, int(total * density))
+    flat = rng.choice(total, size=nnz, replace=False)
+    k = flat % shape[2]
+    ij = flat // shape[2]
+    coords = np.stack([ij // shape[1], ij % shape[1], k], axis=1)
+    return CSFTensor.from_coo(shape, coords, rng.uniform(0.1, 1, nnz))
+
+
+def random_matrix(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((m, n)) < density) * rng.uniform(0.1, 1.0, (m, n))
+    return SparseMatrix.from_dense(dense)
+
+
+class TestTtv:
+    def test_matches_dense(self):
+        t = random_tensor((6, 5, 8), 0.2, 1)
+        vec = np.random.default_rng(2).random(8)
+        z = ttv(t, vec, Machine())
+        np.testing.assert_allclose(z.to_dense(),
+                                   ttv_dense_reference(t, vec), atol=1e-12)
+
+    def test_sparse_vector(self):
+        t = random_tensor((4, 4, 10), 0.3, 3)
+        vec = np.zeros(10)
+        vec[3] = 2.0
+        z = ttv(t, vec, Machine())
+        np.testing.assert_allclose(z.to_dense(),
+                                   ttv_dense_reference(t, vec), atol=1e-12)
+
+    def test_zero_vector(self):
+        t = random_tensor((3, 3, 4), 0.4, 4)
+        z = ttv(t, np.zeros(4), Machine())
+        assert z.nnz == 0
+
+    def test_dimension_mismatch(self):
+        t = random_tensor((3, 3, 4), 0.4, 5)
+        with pytest.raises(ValueError):
+            ttv(t, np.ones(5), Machine())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 6),
+           st.integers(0, 500))
+    def test_property(self, i, j, k, seed):
+        t = random_tensor((i, j, k), 0.4, seed)
+        vec = np.random.default_rng(seed + 1).random(k)
+        z = ttv(t, vec, Machine())
+        np.testing.assert_allclose(z.to_dense(),
+                                   ttv_dense_reference(t, vec), atol=1e-12)
+
+
+class TestTtm:
+    def test_matches_dense(self):
+        t = random_tensor((5, 4, 7), 0.25, 6)
+        b = random_matrix(6, 7, 0.4, 7)
+        z = ttm(t, b, Machine())
+        np.testing.assert_allclose(z.to_dense(),
+                                   ttm_dense_reference(t, b), atol=1e-12)
+
+    def test_output_shape(self):
+        t = random_tensor((5, 4, 7), 0.25, 8)
+        b = random_matrix(9, 7, 0.4, 9)
+        z = ttm(t, b, Machine())
+        assert z.shape == (5, 4, 9)
+
+    def test_dimension_mismatch(self):
+        t = random_tensor((2, 2, 3), 0.5, 10)
+        with pytest.raises(ValueError):
+            ttm(t, random_matrix(4, 5, 0.5, 11), Machine())
+
+    def test_empty_matrix(self):
+        t = random_tensor((2, 2, 3), 0.5, 12)
+        b = SparseMatrix.from_coo((4, 3), [], [], [])
+        z = ttm(t, b, Machine())
+        assert z.nnz == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 5),
+           st.integers(1, 4), st.integers(0, 500))
+    def test_property(self, i, j, l, k, seed):
+        t = random_tensor((i, j, l), 0.4, seed)
+        b = random_matrix(k, l, 0.5, seed + 1)
+        z = ttm(t, b, Machine())
+        np.testing.assert_allclose(z.to_dense(),
+                                   ttm_dense_reference(t, b), atol=1e-12)

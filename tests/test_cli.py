@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "T"])
+        assert args.graph == "email_eu_core"
+        assert args.scale == 1.0
+
+    def test_invalid_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "6C"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "email_eu_core" in out
+        assert "tsopf" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "T", "--graph", "citeseer",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "sparsecore breakdown:" in out
+
+    def test_pattern(self, capsys):
+        assert main(["pattern", "triangle", "--graph", "citeseer",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "S_NESTINTER" in out
+        assert "embeddings:" in out
+
+    def test_pattern_no_nested(self, capsys):
+        assert main(["pattern", "4-clique", "--graph", "citeseer",
+                     "--scale", "0.2", "--no-nested"]) == 0
+        out = capsys.readouterr().out
+        assert "S_NESTINTER" not in out.split("stream assembly:")[1]
+
+    @pytest.mark.parametrize("number", ["1", "2", "3"])
+    def test_tables_fast(self, capsys, number):
+        assert main(["table", number]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "chicago_crime" in capsys.readouterr().out
+
+    def test_spmspm(self, capsys):
+        assert main(["spmspm", "--matrix", "laser",
+                     "--dataflow", "gustavson"]) == 0
+        assert "speedup vs CPU" in capsys.readouterr().out
+
+    def test_figure_small(self, capsys):
+        assert main(["figure", "12", "--scale", "0.08"]) == 0
+        assert "speedup_4su" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Smoke tests: the runnable examples execute cleanly end to end.
+
+Only the fast examples run here (the full set runs standalone); each
+must exit 0 and print its key results.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "gpm_patterns.py", "spmspm_dataflows.py",
+            "tensor_taco.py", "isa_programming.py"} <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "triangles found:" in out
+    assert "speedup:" in out
+    assert "Mispred." in out
+
+
+def test_isa_programming():
+    out = run_example("isa_programming.py")
+    assert "triangles via S_NESTINTER:" in out
+    assert "triangles via compiled GPM kernel:" in out
+    assert "executor cycle report" in out
+
+
+@pytest.mark.slow
+def test_tensor_taco():
+    out = run_example("tensor_taco.py")
+    assert "S_VMERGE" in out
+    assert "speedup over CPU" in out

@@ -1,0 +1,41 @@
+"""The documented public API is importable from the package root."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_surface():
+    graph = repro.load_graph("citeseer", scale=0.2)
+    run = repro.run_app("T", graph)
+    assert run.count >= 0
+    assert run.speedup() > 0
+
+
+def test_isa_surface():
+    program = repro.assemble("S_FREE 1")
+    assert isinstance(program, repro.Program)
+    assert program[0].opcode is repro.Opcode.S_FREE
+    assert repro.disassemble(program) == "S_FREE 1"
+
+
+def test_pattern_surface():
+    p = repro.Pattern(3, [(0, 1), (1, 2), (0, 2)], name="tri")
+    compiled = repro.compile_pattern(p)
+    g = repro.CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    assert compiled.count(g) == 1
+
+
+def test_tensor_surface():
+    kernel = repro.compile_expression("C(i,j) = A(i,k) * B(k,j)", "inner")
+    mat = repro.load_matrix("laser")
+    machine = repro.Machine()
+    out = kernel.run(mat, mat, machine)
+    assert isinstance(out, repro.SparseMatrix)
