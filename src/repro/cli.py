@@ -13,6 +13,12 @@ Commands:
     Regenerate one table/figure of the paper and print it.
 ``spmspm --matrix <name> --dataflow <inner|outer|gustavson>``
     Run one spmspm dataflow and print its machine comparison.
+``difftest [--cases N] [--seed S] [--smoke] [--family F] [--case-seed C]``
+    Differential conformance sweep: fuzz the stream ISA across every
+    backend (functional / pure-Python / stream-unit / machine /
+    executor, plus the GPM and tensor stacks) and check cycle-model
+    invariants.  ``--self-check`` proves the harness catches a planted
+    off-by-one.
 """
 
 from __future__ import annotations
@@ -155,6 +161,35 @@ def _cmd_spmspm(args) -> int:
     return 0
 
 
+def _cmd_difftest(args) -> int:
+    from repro.difftest import Sizes, run_one, run_sweep, self_check
+
+    sizes = Sizes.smoke() if args.smoke else None
+
+    if args.self_check:
+        mismatch = self_check(root_seed=args.seed, sizes=sizes)
+        print("self-check: planted off-by-one caught")
+        print(mismatch.render())
+        return 0
+
+    if args.case_seed is not None:
+        family = args.family or "stream"
+        mismatch = run_one(family, args.case_seed, sizes)
+        if mismatch is None:
+            print("case agrees across all backends")
+            return 0
+        print(mismatch.render())
+        return 1
+
+    families = (args.family,) if args.family else None
+    n_cases = 60 if args.smoke and args.cases == 200 else args.cases
+    kwargs = {"families": families} if families else {}
+    report = run_sweep(n_cases=n_cases, root_seed=args.seed,
+                       sizes=sizes, **kwargs)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
     spmspm.add_argument("--matrix", default="laser")
     spmspm.add_argument("--dataflow", default="gustavson",
                         choices=["inner", "outer", "gustavson"])
+
+    difftest = sub.add_parser(
+        "difftest", help="cross-backend differential conformance sweep")
+    difftest.add_argument("--cases", type=int, default=200,
+                          help="number of cases across all families")
+    difftest.add_argument("--seed", type=int, default=0,
+                          help="root seed of the sweep")
+    difftest.add_argument("--smoke", action="store_true",
+                          help="small sizes + fewer cases (CI budget)")
+    difftest.add_argument("--family",
+                          choices=["stream", "gpm", "tensor"],
+                          help="restrict the sweep to one family")
+    difftest.add_argument("--case-seed", type=int, default=None,
+                          help="re-run one case from its printed seed")
+    difftest.add_argument("--self-check", action="store_true",
+                          help="verify the harness catches a planted bug")
     return parser
 
 
@@ -200,6 +251,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "spmspm": _cmd_spmspm,
+    "difftest": _cmd_difftest,
 }
 
 

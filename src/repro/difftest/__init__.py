@@ -1,0 +1,53 @@
+"""Differential conformance subsystem.
+
+Every layer of this reproduction — the functional kernels in
+:mod:`repro.streams.ops`, the cycle-stepped
+:class:`~repro.arch.stream_unit.StreamUnit`, the instruction-level
+:class:`~repro.arch.executor.StreamExecutor`, the recording
+:class:`~repro.machine.context.Machine`, the GPM compiler/plans, and
+the tensor dataflows — independently implements the same stream-ISA
+semantics (Table 1 of the paper).  This package fuzzes them against
+each other:
+
+* :mod:`repro.difftest.generator` emits seeded random, well-formed
+  cases: chained stream-op programs (``S_INTER``/``S_SUB``/``S_MERGE``
+  and their ``.C`` counting variants with random early-termination
+  bounds, ``S_VINTER``/``S_VMERGE``, ``S_NESTINTER`` over a random CSR
+  graph), GPM pattern/graph instances, and SpMSpM/TTV/TTM instances.
+* :mod:`repro.difftest.backends` runs one case through every backend
+  of its family and returns canonical results.
+* :mod:`repro.difftest.oracle` compares the results bit-for-bit and
+  greedily minimizes any counterexample.
+* :mod:`repro.difftest.invariants` checks model-level cycle invariants
+  (analytics/simulation bracket agreement, monotonicity under operand
+  truncation, scratchpad and S-Cache hits never adding cycles).
+* :mod:`repro.difftest.runner` orchestrates a sweep and renders the
+  report behind ``python -m repro difftest``.
+
+Values in generated cases are integer-valued floats, so every backend
+computes bit-identical results regardless of reduction order.
+"""
+
+from repro.difftest.cases import GpmCase, OpNode, StreamCase, StreamInput, TensorCase
+from repro.difftest.generator import CaseGenerator, Sizes
+from repro.difftest.oracle import Mismatch, check_case
+from repro.difftest.invariants import InvariantViolation, run_invariants
+from repro.difftest.runner import DifftestReport, run_one, run_sweep, self_check
+
+__all__ = [
+    "CaseGenerator",
+    "DifftestReport",
+    "GpmCase",
+    "InvariantViolation",
+    "Mismatch",
+    "OpNode",
+    "Sizes",
+    "StreamCase",
+    "StreamInput",
+    "TensorCase",
+    "check_case",
+    "run_invariants",
+    "run_one",
+    "run_sweep",
+    "self_check",
+]

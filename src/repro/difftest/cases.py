@@ -1,0 +1,284 @@
+"""Case datatypes shared by the generator, backends and oracle.
+
+A *case* is a fully self-contained, deterministic description of one
+conformance check.  Cases know nothing about backends; backends know
+how to evaluate a case into a *canonical result* — plain tuples of
+Python ints/floats — which the oracle compares bit-for-bit.
+
+Stream cases are small dataflow programs: a list of input streams
+followed by a list of op nodes.  Operands are *slot* references: slot
+``i < len(inputs)`` is input ``i``; slot ``len(inputs) + j`` is the
+output of node ``j``.  Counting/value nodes produce scalars and their
+slots must never be referenced; the generator guarantees this (and
+:func:`StreamCase.validate` re-checks it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.streams.runstats import UNBOUNDED
+
+#: Node kinds producing a key stream / a (key,value) stream / a scalar.
+KEY_KINDS = ("intersect", "subtract", "merge")
+COUNT_KINDS = ("intersect_count", "subtract_count", "merge_count")
+VALUE_KINDS = ("vinter", "vmerge", "nestinter")
+ALL_KINDS = KEY_KINDS + COUNT_KINDS + VALUE_KINDS
+
+#: Kinds honouring the R3 early-termination bound (Table 1: only
+#: ``S_INTER``/``S_SUB`` and their counting variants carry R3).
+BOUNDED_KINDS = ("intersect", "subtract", "intersect_count", "subtract_count")
+
+
+@dataclass(frozen=True)
+class StreamInput:
+    """One architectural input stream: sorted unique non-negative keys
+    plus integer-valued float64 values (ignored by key-only ops)."""
+
+    keys: tuple[int, ...]
+    vals: tuple[float, ...]
+    priority: int = 0
+
+    def key_array(self) -> np.ndarray:
+        return np.asarray(self.keys, dtype=np.int64)
+
+    def val_array(self) -> np.ndarray:
+        return np.asarray(self.vals, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One stream instruction of the case's dataflow program."""
+
+    kind: str
+    a: int
+    b: int = -1
+    bound: int = UNBOUNDED
+    valop: str = "MAC"
+    scale_a: float = 1.0
+    scale_b: float = 1.0
+
+
+@dataclass(frozen=True)
+class StreamCase:
+    """A chained stream-ISA program over random sorted streams."""
+
+    seed: int
+    inputs: tuple[StreamInput, ...]
+    nodes: tuple[OpNode, ...]
+    #: CSR graph for ``nestinter`` nodes (their ``a`` operand must hold
+    #: vertex ids of this graph); None when no node needs it.
+    graph_edges: tuple[tuple[int, int], ...] | None = None
+    graph_n: int = 0
+
+    family = "stream"
+
+    def graph(self) -> CSRGraph | None:
+        if self.graph_edges is None:
+            return None
+        return CSRGraph.from_edges(self.graph_n, list(self.graph_edges),
+                                   name=f"difftest-{self.seed}")
+
+    # -- structure helpers -------------------------------------------------
+
+    def slot_count(self) -> int:
+        return len(self.inputs) + len(self.nodes)
+
+    def slot_kind(self, slot: int) -> str:
+        """'kv' for valued streams, 'keys' for key-only streams,
+        'scalar' for counting/value results."""
+        if slot < len(self.inputs):
+            return "kv"
+        node = self.nodes[slot - len(self.inputs)]
+        if node.kind == "vmerge":
+            return "kv"
+        if node.kind in KEY_KINDS:
+            return "keys"
+        return "scalar"
+
+    def validate(self) -> None:
+        n_in = len(self.inputs)
+        for inp in self.inputs:
+            keys = list(inp.keys)
+            if keys != sorted(set(keys)) or (keys and keys[0] < 0):
+                raise ValueError(f"input keys not sorted/unique: {keys}")
+            if len(inp.vals) != len(inp.keys):
+                raise ValueError("input vals must align with keys")
+        for j, node in enumerate(self.nodes):
+            if node.kind not in ALL_KINDS:
+                raise ValueError(f"unknown node kind {node.kind!r}")
+            operands = (node.a,) if node.kind == "nestinter" else (node.a, node.b)
+            for ref in operands:
+                if not 0 <= ref < n_in + j:
+                    raise ValueError(f"node {j} references future slot {ref}")
+                if self.slot_kind(ref) == "scalar":
+                    raise ValueError(f"node {j} references scalar slot {ref}")
+                if node.kind in ("vinter", "vmerge") \
+                        and self.slot_kind(ref) != "kv":
+                    raise ValueError(
+                        f"value node {j} needs a valued operand, slot {ref}")
+            if node.kind == "nestinter":
+                if self.graph_edges is None:
+                    raise ValueError("nestinter node without a case graph")
+                if self.slot_kind(node.a) != "kv" and node.a >= n_in:
+                    pass  # intermediate key streams are fine
+            if node.bound != UNBOUNDED and node.kind not in BOUNDED_KINDS:
+                raise ValueError(f"node {j} kind {node.kind} takes no bound")
+
+    def size(self) -> int:
+        """Shrinking metric: total keys + structure."""
+        return (sum(len(i.keys) for i in self.inputs)
+                + len(self.inputs) + 2 * len(self.nodes)
+                + (len(self.graph_edges or ())))
+
+    def describe(self) -> str:
+        lines = [f"StreamCase(seed={self.seed})"]
+        for i, inp in enumerate(self.inputs):
+            lines.append(f"  in[{i}] prio={inp.priority} "
+                         f"keys={list(inp.keys)} vals={list(inp.vals)}")
+        for j, node in enumerate(self.nodes):
+            extra = ""
+            if node.bound != UNBOUNDED:
+                extra += f" bound={node.bound}"
+            if node.kind == "vinter":
+                extra += f" valop={node.valop}"
+            if node.kind == "vmerge":
+                extra += f" scales=({node.scale_a},{node.scale_b})"
+            ops = f"s{node.a}" if node.kind == "nestinter" \
+                else f"s{node.a}, s{node.b}"
+            lines.append(f"  n[{j}] (slot {len(self.inputs) + j}) = "
+                         f"{node.kind}({ops}){extra}")
+        if self.graph_edges is not None:
+            lines.append(f"  graph: n={self.graph_n} "
+                         f"edges={list(self.graph_edges)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GpmCase:
+    """One pattern-counting instance."""
+
+    seed: int
+    graph_n: int
+    graph_edges: tuple[tuple[int, int], ...]
+    pattern_name: str
+    pattern_n: int
+    pattern_edges: tuple[tuple[int, int], ...]
+    vertex_induced: bool = True
+    graph_labels: tuple[int, ...] | None = None
+    pattern_labels: tuple[int, ...] | None = None
+
+    family = "gpm"
+
+    def graph(self) -> CSRGraph:
+        g = CSRGraph.from_edges(self.graph_n, list(self.graph_edges),
+                                name=f"difftest-{self.seed}")
+        if self.graph_labels is not None:
+            g = g.with_labels(np.asarray(self.graph_labels, dtype=np.int64))
+        return g
+
+    def pattern(self):
+        from repro.gpm.pattern import Pattern
+
+        return Pattern(self.pattern_n, list(self.pattern_edges),
+                       labels=self.pattern_labels, name=self.pattern_name)
+
+    def size(self) -> int:
+        return self.graph_n + len(self.graph_edges)
+
+    def describe(self) -> str:
+        lab = "" if self.graph_labels is None \
+            else f" labels={list(self.graph_labels)}"
+        return (f"GpmCase(seed={self.seed}, pattern={self.pattern_name} "
+                f"n={self.pattern_n} edges={list(self.pattern_edges)}, "
+                f"vertex_induced={self.vertex_induced},\n"
+                f"  graph n={self.graph_n} "
+                f"edges={list(self.graph_edges)}{lab})")
+
+
+@dataclass(frozen=True)
+class TensorCase:
+    """One sparse tensor-algebra instance, stored densely.
+
+    ``kind`` selects the operation: ``spmspm`` (``a`` is m*k, ``b`` is
+    k*n), ``ttv`` (``a`` is i*j*k, ``b`` is a length-k vector) or
+    ``ttm`` (``a`` is i*j*l, ``b`` is k*l).  Entries are integer-valued
+    floats so all contraction orders agree exactly.
+    """
+
+    seed: int
+    kind: str
+    a_shape: tuple[int, ...]
+    a_entries: tuple[float, ...]
+    b_shape: tuple[int, ...]
+    b_entries: tuple[float, ...]
+
+    family = "tensor"
+
+    def a_dense(self) -> np.ndarray:
+        return np.asarray(self.a_entries,
+                          dtype=np.float64).reshape(self.a_shape)
+
+    def b_dense(self) -> np.ndarray:
+        return np.asarray(self.b_entries,
+                          dtype=np.float64).reshape(self.b_shape)
+
+    def size(self) -> int:
+        return (int(np.count_nonzero(self.a_dense()))
+                + int(np.count_nonzero(self.b_dense())) + 1)
+
+    def describe(self) -> str:
+        return (f"TensorCase(seed={self.seed}, kind={self.kind},\n"
+                f"  A{self.a_shape} = {self.a_dense().tolist()}\n"
+                f"  B{self.b_shape} = {self.b_dense().tolist()})")
+
+
+def norm_float(v) -> float:
+    """``float`` with negative zero folded to +0.0, so bit-for-bit
+    comparison doesn't distinguish ``-0.0`` from ``0.0`` (both arise
+    legitimately from different summation orders)."""
+    return float(v) + 0.0
+
+
+def canonical_scalar(x) -> tuple:
+    if isinstance(x, float) or isinstance(x, np.floating):
+        return ("value", norm_float(x))
+    return ("count", int(x))
+
+
+def canonical_keys(keys: np.ndarray) -> tuple:
+    return ("keys", tuple(int(k) for k in keys))
+
+
+def canonical_kv(keys: np.ndarray, vals: np.ndarray) -> tuple:
+    return ("kv", tuple(int(k) for k in keys),
+            tuple(norm_float(v) for v in vals))
+
+
+def canonical_dense(arr: np.ndarray) -> tuple:
+    arr = np.asarray(arr, dtype=np.float64)
+    return ("dense", arr.shape, tuple(norm_float(v) for v in arr.ravel()))
+
+
+__all__ = [
+    "ALL_KINDS",
+    "BOUNDED_KINDS",
+    "COUNT_KINDS",
+    "KEY_KINDS",
+    "VALUE_KINDS",
+    "GpmCase",
+    "OpNode",
+    "StreamCase",
+    "StreamInput",
+    "TensorCase",
+    "canonical_dense",
+    "canonical_keys",
+    "canonical_kv",
+    "canonical_scalar",
+    "norm_float",
+    "replace",
+    "field",
+]

@@ -1,0 +1,245 @@
+"""Seeded random case generation.
+
+Every case is a pure function of its seed: the generator derives one
+``random.Random`` per case, so any failure printed by the runner can be
+reproduced with ``python -m repro difftest --family <f> --case-seed <s>``
+regardless of how many cases preceded it in the sweep.
+
+The distributions are chosen to hit the semantics' corners often:
+empty streams, identical streams, long mismatch runs (window
+skipping), dense overlaps (match runs), tight and vacuous
+early-termination bounds, zero scales, and patterns whose plans take
+the nested-intersection path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.difftest.cases import (
+    BOUNDED_KINDS,
+    GpmCase,
+    OpNode,
+    StreamCase,
+    StreamInput,
+    TensorCase,
+)
+from repro.streams.runstats import UNBOUNDED
+
+
+@dataclass(frozen=True)
+class Sizes:
+    """Scale knobs; ``Sizes.smoke()`` keeps a sweep in CI seconds."""
+
+    max_stream_keys: int = 48
+    max_inputs: int = 4
+    max_nodes: int = 6
+    max_key: int = 96
+    gpm_max_vertices: int = 9
+    gpm_max_pattern: int = 4
+    tensor_max_dim: int = 6
+
+    @classmethod
+    def smoke(cls) -> "Sizes":
+        return cls(max_stream_keys=20, max_inputs=3, max_nodes=4,
+                   max_key=48, gpm_max_vertices=7, gpm_max_pattern=4,
+                   tensor_max_dim=4)
+
+
+def derive_seed(root_seed: int, family: str, index: int) -> int:
+    """Stable per-case seed (independent of sweep composition)."""
+    h = (root_seed & 0xFFFFFFFF) * 1_000_003 + index
+    for ch in family:
+        h = (h * 131 + ord(ch)) & 0x7FFFFFFF
+    return h
+
+
+class CaseGenerator:
+    """Draws well-formed random cases of each family."""
+
+    def __init__(self, sizes: Sizes | None = None):
+        self.sizes = sizes or Sizes()
+
+    # -- shared draws -------------------------------------------------------
+
+    def _sorted_keys(self, rng: random.Random, max_keys: int | None = None,
+                     universe: int | None = None) -> list[int]:
+        """A random sorted unique key array, biased toward corners."""
+        max_keys = max_keys if max_keys is not None else self.sizes.max_stream_keys
+        universe = universe if universe is not None else self.sizes.max_key
+        shape = rng.random()
+        if shape < 0.08:
+            return []
+        if shape < 0.2:  # dense range: long match runs
+            start = rng.randrange(universe)
+            n = rng.randint(1, min(max_keys, universe - start))
+            return list(range(start, start + n))
+        n = rng.randint(1, max_keys)
+        return sorted(rng.sample(range(universe), min(n, universe)))
+
+    def _int_vals(self, rng: random.Random, n: int) -> list[float]:
+        return [float(rng.randint(-8, 8)) for _ in range(n)]
+
+    # -- stream programs ----------------------------------------------------
+
+    def stream_case(self, seed: int) -> StreamCase:
+        rng = random.Random(seed)
+        sz = self.sizes
+        n_in = rng.randint(2, sz.max_inputs)
+        inputs = []
+        for _ in range(n_in):
+            if rng.random() < 0.25 and inputs:
+                # Correlated operand: shared keys → match runs.
+                base = list(rng.choice(inputs).keys)
+                extra = self._sorted_keys(rng)
+                keys = sorted(set(base) | set(extra))
+                if len(keys) > sz.max_stream_keys:
+                    keys = keys[: sz.max_stream_keys]
+            else:
+                keys = self._sorted_keys(rng)
+            inputs.append(StreamInput(
+                keys=tuple(keys), vals=tuple(self._int_vals(rng, len(keys))),
+                priority=rng.randint(0, 1),
+            ))
+
+        graph_edges = None
+        graph_n = 0
+        want_nest = rng.random() < 0.35
+        if want_nest:
+            graph_n = rng.randint(2, 8)
+            graph_edges = tuple(self._graph_edges(rng, graph_n))
+            # Dedicated vertex-id stream for S_NESTINTER.
+            n_vs = rng.randint(0, graph_n)
+            vkeys = sorted(rng.sample(range(graph_n), n_vs))
+            inputs.append(StreamInput(
+                keys=tuple(vkeys), vals=tuple(self._int_vals(rng, n_vs)),
+                priority=0,
+            ))
+
+        nodes: list[OpNode] = []
+        n_nodes = rng.randint(1, sz.max_nodes)
+        kinds = ["intersect", "subtract", "merge", "intersect_count",
+                 "subtract_count", "merge_count", "vinter", "vmerge"]
+        for j in range(n_nodes):
+            case_so_far = StreamCase(seed, tuple(inputs), tuple(nodes),
+                                     graph_edges, graph_n)
+            stream_slots = [s for s in range(case_so_far.slot_count())
+                            if case_so_far.slot_kind(s) != "scalar"]
+            kv_slots = [s for s in range(case_so_far.slot_count())
+                        if case_so_far.slot_kind(s) == "kv"]
+            if want_nest and j == n_nodes - 1:
+                kind = "nestinter"
+            else:
+                kind = rng.choice(kinds)
+            if kind in ("vinter", "vmerge") and not kv_slots:
+                kind = "intersect"
+            if kind == "nestinter":
+                # Operand must hold graph vertex ids: the dedicated
+                # input appended above.
+                nodes.append(OpNode("nestinter", a=len(inputs) - 1))
+                continue
+            pick = kv_slots if kind in ("vinter", "vmerge") else stream_slots
+            a = rng.choice(pick)
+            b = rng.choice(pick)
+            bound = UNBOUNDED
+            if kind in BOUNDED_KINDS and rng.random() < 0.5:
+                bound = rng.randrange(sz.max_key + 4)
+            node = OpNode(kind, a=a, b=b, bound=bound)
+            if kind == "vinter":
+                node = OpNode(kind, a=a, b=b,
+                              valop=rng.choice(["MAC", "MAX", "MIN"]))
+            elif kind == "vmerge":
+                node = OpNode(kind, a=a, b=b,
+                              scale_a=float(rng.randint(-3, 3)),
+                              scale_b=float(rng.randint(-3, 3)))
+            nodes.append(node)
+
+        case = StreamCase(seed, tuple(inputs), tuple(nodes),
+                          graph_edges, graph_n)
+        case.validate()
+        return case
+
+    # -- GPM ---------------------------------------------------------------
+
+    def _graph_edges(self, rng: random.Random, n: int) -> list[tuple[int, int]]:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        p = rng.uniform(0.2, 0.8)
+        return [e for e in pairs if rng.random() < p]
+
+    def _pattern_pool(self):
+        from repro.gpm import pattern as pat
+
+        return [pat.triangle(), pat.wedge(), pat.chain(4), pat.star(3),
+                pat.tailed_triangle(), pat.clique(4),
+                pat.Pattern(4, [(0, 1), (1, 2), (2, 3), (3, 0)],
+                            name="4-cycle"),
+                pat.Pattern(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                            name="diamond")]
+
+    def gpm_case(self, seed: int) -> GpmCase:
+        rng = random.Random(seed)
+        sz = self.sizes
+        pool = [p for p in self._pattern_pool() if p.n <= sz.gpm_max_pattern]
+        pattern = rng.choice(pool)
+        n = rng.randint(pattern.n, sz.gpm_max_vertices)
+        edges = tuple(self._graph_edges(rng, n))
+        labels = None
+        plabels = None
+        if rng.random() < 0.25:
+            num_labels = rng.randint(1, 3)
+            labels = tuple(rng.randrange(num_labels) for _ in range(n))
+            plabels = tuple(rng.randrange(num_labels)
+                            for _ in range(pattern.n))
+        return GpmCase(
+            seed=seed, graph_n=n, graph_edges=edges,
+            pattern_name=pattern.name, pattern_n=pattern.n,
+            pattern_edges=tuple(sorted(pattern.edges)),
+            vertex_induced=rng.random() < 0.7,
+            graph_labels=labels, pattern_labels=plabels,
+        )
+
+    # -- tensors -----------------------------------------------------------
+
+    def _dense(self, rng: random.Random, shape: tuple[int, ...],
+               density: float) -> list[float]:
+        total = 1
+        for d in shape:
+            total *= d
+        return [float(rng.randint(-4, 4)) if rng.random() < density else 0.0
+                for _ in range(total)]
+
+    def tensor_case(self, seed: int) -> TensorCase:
+        rng = random.Random(seed)
+        d = self.sizes.tensor_max_dim
+        kind = rng.choice(["spmspm", "ttv", "ttm"])
+        density = rng.uniform(0.15, 0.8)
+        if kind == "spmspm":
+            m, k, n = (rng.randint(1, d) for _ in range(3))
+            a_shape, b_shape = (m, k), (k, n)
+        elif kind == "ttv":
+            i, j, k = (rng.randint(1, d) for _ in range(3))
+            a_shape, b_shape = (i, j, k), (k,)
+        else:  # ttm
+            i, j, l = (rng.randint(1, d) for _ in range(3))
+            k = rng.randint(1, d)
+            a_shape, b_shape = (i, j, l), (k, l)
+        return TensorCase(
+            seed=seed, kind=kind,
+            a_shape=a_shape, a_entries=tuple(self._dense(rng, a_shape, density)),
+            b_shape=b_shape, b_entries=tuple(self._dense(rng, b_shape, density)),
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def generate(self, family: str, seed: int):
+        if family == "stream":
+            return self.stream_case(seed)
+        if family == "gpm":
+            return self.gpm_case(seed)
+        if family == "tensor":
+            return self.tensor_case(seed)
+        raise ValueError(f"unknown difftest family {family!r}")
+
+
+__all__ = ["CaseGenerator", "Sizes", "derive_seed"]

@@ -1,0 +1,253 @@
+"""The differential oracle: evaluate, compare, minimize.
+
+:func:`check_case` runs one case through every backend of its family
+and compares the canonical results *bit for bit* (generated values are
+integer-valued, so exact equality is the right notion even for float
+results).  A backend that raises is reported as an ``("error", ...)``
+result — a crash on a well-formed case is a conformance failure too.
+
+On disagreement the oracle greedily shrinks the case (ddmin-style:
+drop dead nodes/inputs, halve key arrays, drop single keys/edges, zero
+tensor entries) while the disagreement persists, so the reported
+counterexample is close to minimal and human-readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.difftest.backends import backends_for
+from repro.difftest.cases import GpmCase, StreamCase, TensorCase
+
+
+@dataclass
+class Mismatch:
+    """One confirmed cross-backend disagreement."""
+
+    family: str
+    seed: int
+    node: int | None          # stream node index, None for gpm/tensor
+    results: dict[str, object]  # backend -> differing canonical result
+    case: object              # the original failing case
+    minimized: object         # the shrunk failing case (== case if stuck)
+
+    def render(self) -> str:
+        lines = [f"MISMATCH family={self.family} seed={self.seed}"
+                 + (f" node={self.node}" if self.node is not None else "")]
+        for name in sorted(self.results):
+            lines.append(f"  {name:12s} -> {_short(self.results[name])}")
+        lines.append("minimized counterexample:")
+        lines.extend("  " + ln for ln in
+                     self.minimized.describe().splitlines())
+        return "\n".join(lines)
+
+
+def _short(result, limit: int = 200) -> str:
+    text = repr(result)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def evaluate(case) -> dict[str, object]:
+    """Run every backend; crashes become ``("error", ...)`` results."""
+    out = {}
+    for name, fn in backends_for(case.family).items():
+        try:
+            out[name] = fn(case)
+        except Exception as exc:  # conformance failure, not a test bug
+            out[name] = ("error", type(exc).__name__, str(exc)[:120])
+    return out
+
+
+def find_disagreement(case, results: dict[str, object]):
+    """Return ``(node, {backend: result})`` for the first disagreement,
+    or ``None`` when all participating backends agree.
+
+    ``None`` results (backend does not implement this node/case) are
+    skipped; errors participate so crashes surface as mismatches.
+    """
+    if case.family == "stream":
+        n_nodes = len(case.nodes)
+        per_node: list[dict[str, object]] = [{} for _ in range(n_nodes)]
+        for name, res in results.items():
+            if isinstance(res, tuple) and res and res[0] == "error":
+                # Whole-backend crash: charge it to node 0 so it is
+                # comparable against everyone else's first result.
+                for j in range(n_nodes):
+                    per_node[j][name] = res
+                continue
+            for j in range(n_nodes):
+                value = res[j] if res is not None and j < len(res) else None
+                if value is not None:
+                    per_node[j][name] = value
+        for j, slot in enumerate(per_node):
+            if len(set(map(repr, slot.values()))) > 1:
+                return j, slot
+        return None
+    participating = {k: v for k, v in results.items() if v is not None}
+    if len(set(map(repr, participating.values()))) > 1:
+        return None, participating
+    return None
+
+
+def check_case(case, minimize: bool = True) -> Mismatch | None:
+    """Differentially test one case; return a minimized mismatch."""
+    disagreement = find_disagreement(case, evaluate(case))
+    if disagreement is None:
+        return None
+    node, differing = disagreement
+    small = _minimize(case) if minimize else case
+    return Mismatch(family=case.family, seed=case.seed, node=node,
+                    results=differing, case=case, minimized=small)
+
+
+# ---------------------------------------------------------------------------
+# greedy shrinking
+# ---------------------------------------------------------------------------
+
+
+def _still_fails(case) -> bool:
+    try:
+        case.validate()
+    except (ValueError, AttributeError):
+        return False
+    except Exception:
+        return False
+    return find_disagreement(case, evaluate(case)) is not None
+
+
+def _minimize(case, max_evals: int = 400):
+    current = case
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate in _shrinks(current):
+            if candidate.size() >= current.size():
+                continue
+            evals += 1
+            if _still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    return current
+
+
+def _shrinks(case) -> Iterator:
+    if isinstance(case, StreamCase):
+        yield from _shrink_stream(case)
+    elif isinstance(case, GpmCase):
+        yield from _shrink_gpm(case)
+    elif isinstance(case, TensorCase):
+        yield from _shrink_tensor(case)
+
+
+# -- stream -----------------------------------------------------------------
+
+
+def _slot_referenced(case: StreamCase, slot: int) -> bool:
+    for node in case.nodes:
+        refs = (node.a,) if node.kind == "nestinter" else (node.a, node.b)
+        if slot in refs:
+            return True
+    return False
+
+
+def _remap_nodes(nodes, removed_slot: int):
+    out = []
+    for node in nodes:
+        a = node.a - 1 if node.a > removed_slot else node.a
+        b = node.b - 1 if node.b > removed_slot else node.b
+        out.append(replace(node, a=a, b=b))
+    return tuple(out)
+
+
+def _shrink_stream(case: StreamCase) -> Iterator[StreamCase]:
+    n_in = len(case.inputs)
+    # Drop unreferenced trailing nodes (their output slot is dead).
+    for j in reversed(range(len(case.nodes))):
+        if len(case.nodes) > 1 and not _slot_referenced(case, n_in + j):
+            nodes = case.nodes[:j] + _remap_nodes(case.nodes[j + 1:],
+                                                  n_in + j)
+            yield replace(case, nodes=nodes)
+    # Drop unreferenced inputs.
+    for i in reversed(range(n_in)):
+        if n_in > 1 and not _slot_referenced(case, i):
+            yield replace(
+                case,
+                inputs=case.inputs[:i] + case.inputs[i + 1:],
+                nodes=_remap_nodes(case.nodes, i),
+            )
+    # Drop the graph when no node needs it.
+    if case.graph_edges is not None and \
+            not any(n.kind == "nestinter" for n in case.nodes):
+        yield replace(case, graph_edges=None, graph_n=0)
+    # Shrink key arrays: halves first, then single keys for small inputs.
+    for i, inp in enumerate(case.inputs):
+        n = len(inp.keys)
+        if n == 0:
+            continue
+        cuts = []
+        if n > 1:
+            cuts.append(slice(0, n // 2))
+            cuts.append(slice(n // 2, n))
+        if n <= 8:
+            cuts.extend(slice(k, k + 1) for k in range(n))
+        seen = set()
+        for cut in cuts:
+            keep = [k for k in range(n) if not (cut.start <= k < cut.stop)]
+            keys = tuple(inp.keys[k] for k in keep)
+            if keys in seen:
+                continue
+            seen.add(keys)
+            new_inp = StreamInputLike(inp, keys,
+                                      tuple(inp.vals[k] for k in keep))
+            yield replace(case,
+                          inputs=case.inputs[:i] + (new_inp,)
+                          + case.inputs[i + 1:])
+    # Thin the graph edge list.
+    if case.graph_edges:
+        edges = case.graph_edges
+        if len(edges) > 2:
+            yield replace(case, graph_edges=edges[: len(edges) // 2])
+            yield replace(case, graph_edges=edges[len(edges) // 2:])
+        for e in range(len(edges)):
+            yield replace(case, graph_edges=edges[:e] + edges[e + 1:])
+
+
+def StreamInputLike(template, keys, vals):
+    return replace(template, keys=keys, vals=vals)
+
+
+# -- gpm --------------------------------------------------------------------
+
+
+def _shrink_gpm(case: GpmCase) -> Iterator[GpmCase]:
+    edges = case.graph_edges
+    for e in range(len(edges)):
+        yield replace(case, graph_edges=edges[:e] + edges[e + 1:])
+    # Drop the last vertex when isolated.
+    last = case.graph_n - 1
+    if case.graph_n > case.pattern_n and \
+            not any(last in e for e in edges):
+        labels = case.graph_labels
+        if labels is not None:
+            labels = labels[:-1]
+        yield replace(case, graph_n=last, graph_labels=labels)
+
+
+# -- tensor -----------------------------------------------------------------
+
+
+def _shrink_tensor(case: TensorCase) -> Iterator[TensorCase]:
+    for attr in ("a_entries", "b_entries"):
+        entries = getattr(case, attr)
+        for k, v in enumerate(entries):
+            if v != 0.0:
+                zeroed = entries[:k] + (0.0,) + entries[k + 1:]
+                yield replace(case, **{attr: zeroed})
+
+
+__all__ = ["Mismatch", "check_case", "evaluate", "find_disagreement"]

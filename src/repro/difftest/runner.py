@@ -1,0 +1,153 @@
+"""Sweep orchestration and reporting for ``python -m repro difftest``.
+
+A sweep interleaves the three case families (stream programs, GPM
+instances, tensor contractions), checks cross-backend conformance on
+each case plus the cycle-model invariants, and renders a coverage
+report: cases per family, per-backend participation counts, mismatch
+and invariant-violation details.
+
+:func:`self_check` validates the harness itself by monkeypatching a
+deliberate off-by-one into :func:`repro.streams.ops.intersect` and
+asserting the sweep catches it with a minimized counterexample — a
+differential harness that cannot catch a planted bug is worthless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.difftest.generator import CaseGenerator, Sizes, derive_seed
+from repro.difftest.invariants import InvariantViolation, run_invariants
+from repro.difftest.oracle import Mismatch, check_case, evaluate
+
+FAMILY_ORDER = ("stream", "gpm", "tensor")
+
+#: Sweep share per family: stream cases are cheap and central (the ISA
+#: itself), GPM/tensor are heavier end-to-end checks.
+FAMILY_WEIGHTS = {"stream": 0.5, "gpm": 0.25, "tensor": 0.25}
+
+
+@dataclass
+class DifftestReport:
+    """Outcome of one differential sweep."""
+
+    root_seed: int
+    cases: dict[str, int] = field(default_factory=dict)
+    backend_participation: dict[str, dict[str, int]] = field(
+        default_factory=dict)
+    mismatches: list[Mismatch] = field(default_factory=list)
+    violations: list[InvariantViolation] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+    def render(self) -> str:
+        lines = [f"difftest sweep: seed={self.root_seed} "
+                 f"cases={sum(self.cases.values())} "
+                 f"({self.elapsed_s:.1f}s)"]
+        for family in FAMILY_ORDER:
+            if family not in self.cases:
+                continue
+            parts = self.backend_participation.get(family, {})
+            cov = ", ".join(f"{name}:{parts[name]}"
+                            for name in sorted(parts))
+            lines.append(f"  {family:6s} {self.cases[family]:4d} cases "
+                         f"[{cov}]")
+        for mismatch in self.mismatches:
+            lines.append(mismatch.render())
+        for violation in self.violations:
+            lines.append(violation.render())
+        lines.append("PASS" if self.ok else
+                     f"FAIL ({len(self.mismatches)} mismatches, "
+                     f"{len(self.violations)} invariant violations)")
+        return "\n".join(lines)
+
+
+def _count_participation(report: DifftestReport, case,
+                         results: dict) -> None:
+    parts = report.backend_participation.setdefault(case.family, {})
+    for name, res in results.items():
+        participated = res is not None and not (
+            isinstance(res, list) and all(r is None for r in res))
+        if participated:
+            parts[name] = parts.get(name, 0) + 1
+
+
+def run_one(family: str, case_seed: int,
+            sizes: Sizes | None = None) -> Mismatch | None:
+    """Re-run one case from its printed seed (``--case-seed``)."""
+    case = CaseGenerator(sizes).generate(family, case_seed)
+    print(case.describe())
+    return check_case(case)
+
+
+def run_sweep(n_cases: int = 200, root_seed: int = 0,
+              sizes: Sizes | None = None,
+              families: tuple[str, ...] = FAMILY_ORDER,
+              invariant_cases: int | None = None,
+              max_mismatches: int = 5) -> DifftestReport:
+    """Generate, check and report ``n_cases`` spread over families."""
+    started = time.monotonic()
+    gen = CaseGenerator(sizes)
+    report = DifftestReport(root_seed=root_seed)
+    weights = {f: FAMILY_WEIGHTS[f] for f in families}
+    total_w = sum(weights.values())
+    for family in families:
+        quota = max(1, round(n_cases * weights[family] / total_w))
+        for index in range(quota):
+            case = gen.generate(family,
+                                derive_seed(root_seed, family, index))
+            results = evaluate(case)
+            _count_participation(report, case, results)
+            report.cases[family] = report.cases.get(family, 0) + 1
+            mismatch = check_case(case)
+            if mismatch is not None:
+                report.mismatches.append(mismatch)
+                if len(report.mismatches) >= max_mismatches:
+                    break
+    if "stream" in families:
+        n_inv = invariant_cases if invariant_cases is not None \
+            else max(1, n_cases // 10)
+        report.violations = run_invariants(root_seed, n_inv, sizes)
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def self_check(root_seed: int = 0, max_cases: int = 300,
+               sizes: Sizes | None = None) -> Mismatch:
+    """Prove the harness can catch a planted bug.
+
+    Monkeypatches an off-by-one into ``ops.intersect`` (drops the last
+    emitted key), sweeps stream cases until the oracle trips, and
+    returns the minimized mismatch.  Raises if nothing is caught —
+    which would mean the harness is blind.
+    """
+    from repro.streams import ops
+
+    original = ops.intersect
+
+    def broken_intersect(a, b, bound=ops.UNBOUNDED):
+        out = original(a, b, bound)
+        return out[:-1]  # off-by-one: last match silently dropped
+
+    gen = CaseGenerator(sizes)
+    ops.intersect = broken_intersect
+    try:
+        for index in range(max_cases):
+            case = gen.stream_case(derive_seed(root_seed, "selfcheck",
+                                               index))
+            mismatch = check_case(case)
+            if mismatch is not None:
+                return mismatch
+    finally:
+        ops.intersect = original
+    raise AssertionError(
+        f"self-check failed: planted off-by-one in ops.intersect was not "
+        f"caught in {max_cases} cases — the oracle is blind")
+
+
+__all__ = ["DifftestReport", "FAMILY_ORDER", "run_one", "run_sweep",
+           "self_check"]

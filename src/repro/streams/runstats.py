@@ -11,7 +11,11 @@ in each machine model:
   consumed in ``ceil(L / W)`` cycles.  Intersection emits at most one
   match per cycle, so a run of ``L`` matches costs ``L`` cycles;
   subtraction and merge can emit multiple keys per cycle and consume
-  match runs at window rate too.
+  match runs at window rate too.  Intersection terminates the moment
+  either operand is exhausted — the *terminal* single-source run of the
+  merge path (including the degenerate case of an empty operand) costs
+  no intersect cycles at all, matching the cycle-stepped
+  :class:`~repro.arch.stream_unit.StreamUnit` exactly.
 
 * **Scalar CPU.**  The classic two-pointer loop performs one
   compare+branch iteration per union key; the branch direction changes
@@ -54,7 +58,9 @@ class OpStats:
     n_union: int
     n_matches: int
     n_runs: int
-    #: SU cycles when the op is an intersection (<=1 output/cycle).
+    #: SU cycles when the op is an intersection (<=1 output/cycle; the
+    #: terminal single-source run is free — the SU halts once either
+    #: operand is exhausted).
     su_cycles_intersect: int
     #: SU cycles when the op is a subtraction or merge (window-rate output).
     su_cycles_submerge: int
@@ -124,14 +130,20 @@ def _analyze_small(a_eff, b_eff, len_a: int, len_b: int,
     su_sub = 0
     prev_src = 0
     run_len = 0
+    last_int_charge = 0
 
     def close_run():
-        nonlocal su_int, su_sub, n_runs
+        nonlocal su_int, su_sub, n_runs, last_int_charge
         if run_len:
             n_runs += 1
             windowed = -(-run_len // width)
             su_sub += windowed
-            su_int += run_len if prev_src == 3 else windowed
+            if prev_src == 3:
+                su_int += run_len
+                last_int_charge = 0
+            else:
+                su_int += windowed
+                last_int_charge = windowed
 
     while i < na and j < nb:
         x, y = xs[i], ys[j]
@@ -163,6 +175,9 @@ def _analyze_small(a_eff, b_eff, len_a: int, len_b: int,
                 prev_src = src
                 run_len = tail
     close_run()
+    # The SU halts an intersection as soon as either operand runs out:
+    # the terminal single-source run costs no intersect cycles.
+    su_int -= last_int_charge
     return OpStats(
         len_a=len_a, len_b=len_b, eff_a=na, eff_b=nb,
         n_union=n_union, n_matches=n_matches, n_runs=n_runs,
@@ -207,6 +222,10 @@ def analyze_pair(
     windowed = np.ceil(run_lens / width).astype(np.int64)
     su_submerge = int(windowed.sum())
     su_intersect = int(windowed[~match_runs].sum()) + n_matches
+    if run_src[-1] != 3:
+        # Terminal single-source run: intersection has already halted
+        # (the other operand is exhausted), so these keys are free.
+        su_intersect -= int(windowed[-1])
 
     return OpStats(
         len_a=len_a,

@@ -80,11 +80,15 @@ def test_runstats_consistent_with_ops(sa, sb, bound):
 @given(key_sets, key_sets)
 def test_su_cycles_bounds(sa, sb):
     """SU cycles are at least the windowed lower bound and at most the
-    scalar step count (the SU is never slower than the scalar loop)."""
+    scalar step count (the SU is never slower than the scalar loop).
+    Intersection halts once either operand is exhausted, so it can be
+    cheaper than sub/merge (which must stream the survivor through) but
+    never more than one extra cycle per emitted match."""
     a, b = arr(sa), arr(sb)
     stats = analyze_pair(a, b)
     lower = int(np.ceil(stats.n_union / SU_BUFFER_WIDTH)) if stats.n_union else 0
-    assert lower <= stats.su_cycles_submerge <= stats.su_cycles_intersect
+    assert lower <= stats.su_cycles_submerge
+    assert stats.su_cycles_intersect <= stats.su_cycles_submerge + stats.n_matches
     assert stats.su_cycles_intersect <= stats.cpu_steps
 
 

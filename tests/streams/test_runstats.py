@@ -16,12 +16,14 @@ class TestAnalyzePair:
         assert st == OpStats(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 
     def test_disjoint_single_runs(self):
-        # A entirely below B: two runs, no matches.
+        # A entirely below B: two runs, no matches.  The terminal B-only
+        # run is free for intersection (A is already exhausted).
         st = analyze_pair(keys(1, 2, 3), keys(10, 11))
         assert st.n_runs == 2
         assert st.n_matches == 0
         assert st.n_union == 5
-        assert st.su_cycles_intersect == 2  # one windowed cycle per run
+        assert st.su_cycles_intersect == 1
+        assert st.su_cycles_submerge == 2
         assert st.direction_changes == 1
 
     def test_identical_streams(self):
@@ -34,9 +36,11 @@ class TestAnalyzePair:
         assert st.su_cycles_submerge == 1
 
     def test_long_run_windowing(self):
-        # 40 consecutive A-only keys: ceil(40/16) = 3 cycles.
+        # 40 consecutive A-only keys: ceil(40/16) = 3 cycles; the
+        # trailing B-only run [100] costs no intersect cycles.
         st = analyze_pair(keys(*range(40)), keys(100))
-        assert st.su_cycles_intersect == 3 + 1
+        assert st.su_cycles_intersect == 3
+        assert st.su_cycles_submerge == 3 + 1
 
     def test_interleaved_alternating(self):
         # Perfectly interleaved: every element is its own run.
@@ -45,7 +49,8 @@ class TestAnalyzePair:
         st = analyze_pair(a, b)
         assert st.n_runs == 20
         assert st.direction_changes == 19
-        assert st.su_cycles_intersect == 20
+        # The final run ([19], B-only) is terminal and free.
+        assert st.su_cycles_intersect == 19
 
     def test_out_len_kinds(self):
         st = analyze_pair(keys(1, 2, 3), keys(2, 9))
@@ -80,6 +85,33 @@ class TestAnalyzePair:
     def test_cpu_steps_equal_union(self):
         st = analyze_pair(keys(1, 3, 5), keys(3, 4))
         assert st.cpu_steps == st.n_union == 4
+
+    def test_empty_operand_intersect_is_free(self):
+        # With one operand empty the SU never starts: 0 intersect
+        # cycles; sub/merge still stream the survivor through.
+        st = analyze_pair(keys(), keys(*range(17)))
+        assert st.su_cycles_intersect == 0
+        assert st.su_cycles_submerge == 2  # ceil(17/16)
+        st = analyze_pair(keys(*range(33)), keys())
+        assert st.su_cycles_intersect == 0
+        assert st.su_cycles_submerge == 3
+
+    def test_terminal_match_run_still_charged(self):
+        # Streams ending on a match: nothing is terminal-exempt.
+        st = analyze_pair(keys(1, 2, 5), keys(5))
+        assert st.su_cycles_intersect == 2  # [1,2] windowed + match [5]
+
+    def test_terminal_exemption_matches_vectorized_path(self):
+        # Same structure above/below the _SMALL_OP_THRESHOLD crossover.
+        a = keys(*range(0, 300, 3))
+        b = keys(*range(0, 90, 2))
+        small = analyze_pair(a[:20], b[:20])
+        big = analyze_pair(a, b)
+        for st, (aa, bb) in ((small, (a[:20], b[:20])), (big, (a, b))):
+            from repro.arch.stream_unit import StreamUnit
+
+            sim = StreamUnit().run(aa, bb, "intersect")
+            assert sim.cycles == st.su_cycles_intersect
 
 
 class TestTruncateBound:

@@ -1,0 +1,126 @@
+"""Property-based tests for the value-carrying stream ops
+(``S_VINTER``/``S_VMERGE``), complementing the key-only properties in
+``test_properties.py``: value/key alignment, bound truncation, the
+MAX/MIN value ops, and merge vs merge_count consistency through the
+valued path.
+
+Values are drawn as small integers stored in float64, so every
+reduction order yields bit-identical results and all assertions can be
+exact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import ops
+
+# (key, value) maps with integer-valued floats: exact arithmetic.
+kv_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=-8, max_value=8).map(float),
+    max_size=40,
+)
+bounds = st.one_of(st.just(-1), st.integers(min_value=0, max_value=130))
+scales = st.integers(min_value=-3, max_value=3).map(float)
+valops = st.sampled_from(["MAC", "MAX", "MIN"])
+
+
+def split(d):
+    keys = np.array(sorted(d), dtype=np.int64)
+    vals = np.array([d[k] for k in sorted(d)], dtype=np.float64)
+    return keys, vals
+
+
+def combine(op, va, vb):
+    return {"MAC": va * vb, "MAX": max(va, vb), "MIN": min(va, vb)}[op]
+
+
+@given(kv_maps, kv_maps, valops)
+def test_vinter_all_valops_match_dict_reference(da, db, op):
+    ak, av = split(da)
+    bk, bv = split(db)
+    expect = sum(combine(op, da[k], db[k]) for k in set(da) & set(db))
+    assert ops.vinter(ak, av, bk, bv, op) == expect
+
+
+@given(kv_maps, kv_maps, bounds, valops)
+def test_vinter_bound_truncates_before_combining(da, db, bound, op):
+    """The R3 bound applies to the *keys*; values of truncated keys
+    must not leak into the reduction."""
+    ak, av = split(da)
+    bk, bv = split(db)
+    eligible = {k for k in set(da) & set(db) if bound < 0 or k < bound}
+    expect = sum(combine(op, da[k], db[k]) for k in eligible)
+    assert ops.vinter(ak, av, bk, bv, op, bound) == expect
+
+
+@given(kv_maps, kv_maps)
+def test_vinter_duplicate_stream_is_self_product(da, db):
+    """vinter(s, s) reduces over every key exactly once even when both
+    operands are the same stream object (aliasing)."""
+    ak, av = split(da)
+    assert ops.vinter(ak, av, ak, av, "MAC") == sum(v * v
+                                                   for v in da.values())
+
+
+@given(kv_maps, kv_maps, scales, scales)
+def test_vmerge_keys_equal_merge_and_count(da, db, alpha, beta):
+    """The valued merge walks the same key sequence as S_MERGE and
+    S_MERGE.C: identical keys, count, and positional value alignment."""
+    ak, av = split(da)
+    bk, bv = split(db)
+    out_k, out_v = ops.vmerge(alpha, ak, av, beta, bk, bv)
+    assert out_k.tolist() == ops.merge(ak, bk).tolist()
+    assert len(out_k) == ops.merge_count(ak, bk) == len(out_v)
+    for k, v in zip(out_k.tolist(), out_v.tolist()):
+        assert v == alpha * da.get(k, 0.0) + beta * db.get(k, 0.0)
+
+
+@given(kv_maps, scales, scales)
+def test_vmerge_duplicate_stream_scales_add(da, alpha, beta):
+    """vmerge(alpha, s, beta, s) == (alpha+beta) * s, key for key."""
+    ak, av = split(da)
+    out_k, out_v = ops.vmerge(alpha, ak, av, beta, ak, av)
+    assert out_k.tolist() == ak.tolist()
+    np.testing.assert_array_equal(out_v, (alpha + beta) * av)
+
+
+@given(kv_maps, kv_maps)
+def test_vmerge_zero_scale_projects_other_operand(da, db):
+    """A zero scale keeps the key structure but kills the values: the
+    union keys survive, the zero-scaled values contribute nothing."""
+    ak, av = split(da)
+    bk, bv = split(db)
+    out_k, out_v = ops.vmerge(1.0, ak, av, 0.0, bk, bv)
+    assert out_k.tolist() == sorted(set(da) | set(db))
+    for k, v in zip(out_k.tolist(), out_v.tolist()):
+        assert v == da.get(k, 0.0)
+
+
+@settings(max_examples=50)
+@given(kv_maps, kv_maps, scales, scales)
+def test_vmerge_commutes_with_swapped_scales(da, db, alpha, beta):
+    ak, av = split(da)
+    bk, bv = split(db)
+    k1, v1 = ops.vmerge(alpha, ak, av, beta, bk, bv)
+    k2, v2 = ops.vmerge(beta, bk, bv, alpha, ak, av)
+    assert k1.tolist() == k2.tolist()
+    np.testing.assert_array_equal(v1, v2)
+
+
+@settings(max_examples=50)
+@given(kv_maps, kv_maps)
+def test_vinter_agrees_with_vmerge_hadamard(da, db):
+    """Cross-op consistency: the MAC reduction equals summing the
+    pointwise products over the intersection keys taken from vmerge's
+    aligned output."""
+    ak, av = split(da)
+    bk, bv = split(db)
+    common = set(da) & set(db)
+    expect = sum(da[k] * db[k] for k in common)
+    assert ops.vinter(ak, av, bk, bv, "MAC") == expect
+    out_k, out_v = ops.vmerge(1.0, ak, av, 1.0, bk, bv)
+    for k, v in zip(out_k.tolist(), out_v.tolist()):
+        if k in common:
+            assert v == da[k] + db[k]
