@@ -1,0 +1,76 @@
+"""Observability baseline: profile the smoke pair, write BENCH_profile.json.
+
+Profiles one GPM pattern (triangle) and one SpMSpM kernel (Gustavson)
+under the full probe, asserts the standing checks (attribution sums to
+the model total, Chrome trace validates), and persists a compact
+baseline — cycles, bucket fractions, speedup, key counters — as
+``BENCH_profile.json`` at the repository root so the perf trajectory
+can be diffed across commits, plus the rendered tables under
+``benchmarks/results/``.
+"""
+
+import json
+import pathlib
+
+from conftest import write_result
+
+from repro.obs.attribution import BUCKETS
+from repro.obs.profile import smoke
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Counters pinned into the baseline: broad coverage, stable names.
+BASELINE_COUNTERS = (
+    "machine.stream_loads", "machine.stream_bytes", "machine.bursts",
+    "su.busy_cycles", "svpu.flop_pairs",
+    "mem.sc.dram_bytes", "mem.sc.dram_row_activations",
+    "mem.sc.stall_cycles", "scratchpad.pin_hits", "scratchpad.misses",
+    "model.sc.issue_cycles", "model.sc.total_cycles",
+)
+
+
+def _baseline_entry(result) -> dict:
+    attr = result.attribution
+    return {
+        "family": result.family,
+        "sparsecore_cycles": result.sc_report.total_cycles,
+        "cpu_cycles": result.cpu_report.total_cycles,
+        "speedup_vs_cpu": result.sc_report.speedup_over(result.cpu_report),
+        "attribution": {name: attr.buckets[name] for name in BUCKETS},
+        "bucket_fractions": attr.fractions(),
+        "su_occupancy": attr.detail.get("su_occupancy", 0.0),
+        "stream_ops": attr.detail.get("num_ops", 0),
+        "trace_events": len(result.tracer.events),
+        "counters": {name: result.counters.get(name)
+                     for name in BASELINE_COUNTERS
+                     if result.counters.get(name)},
+    }
+
+
+def test_profile_baseline(once):
+    results = once(smoke)  # check=True: attribution + schema enforced
+
+    baseline = {
+        "schema_version": 1,
+        "workloads": {r.workload: _baseline_entry(r) for r in results},
+    }
+    (REPO_ROOT / "BENCH_profile.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+    text = "\n\n".join(r.render(top_counters=16) for r in results)
+    write_result("profile_baseline", text)
+
+    for r in results:
+        entry = baseline["workloads"][r.workload]
+        # Attribution survived its exact-sum check and is non-trivial.
+        assert sum(entry["attribution"].values()) > 0
+        # Both workloads accelerate on SparseCore.
+        assert entry["speedup_vs_cpu"] > 1.0
+        # The probe actually observed the run.
+        assert entry["stream_ops"] > 0 and entry["trace_events"] > 0
+
+    # The GPM pattern is intersection-led; SpMSpM is value-led.
+    gpm = baseline["workloads"]["triangle"]["attribution"]
+    tensor = baseline["workloads"]["spmspm"]["attribution"]
+    assert gpm["intersect"] > gpm["value"]
+    assert tensor["value"] > tensor["intersect"]

@@ -35,6 +35,7 @@ from repro.errors import (
 from repro.isa.assembler import is_register
 from repro.isa.program import Program
 from repro.isa.spec import EOS, Instruction, Opcode
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.streams import ops
 from repro.streams.runstats import analyze_pair
 from repro.streams.stream import KEY_BYTES
@@ -47,15 +48,20 @@ class StreamExecutor:
 
     def __init__(self, memory: SimMemory,
                  config: SparseCoreConfig | None = None,
-                 *, virtualize: bool = False):
+                 *, virtualize: bool = False,
+                 probe: Probe | None = None):
         self.memory = memory
         self.config = config or SparseCoreConfig()
-        self.smt = StreamMappingTable(self.config.num_stream_regs)
+        self.obs = probe or NULL_PROBE
+        counters = self.obs.counters
+        self.smt = StreamMappingTable(self.config.num_stream_regs,
+                                      counters=counters)
         self.sregs = StreamRegisterFile(self.config.num_stream_regs)
         self.gfrs = GraphFormatRegisters()
         self.scache = StreamCache(self.config.num_stream_regs,
-                                  self.config.scache_slot_keys)
-        self.transfer = TransferModel(self.config)
+                                  self.config.scache_slot_keys,
+                                  counters=counters)
+        self.transfer = TransferModel(self.config, counters)
         self.trace = Trace("executor")
         self.regs: dict[str, float] = {}
         self.instructions_executed = 0
@@ -106,6 +112,9 @@ class StreamExecutor:
         handler = self._HANDLERS[instr.opcode]
         handler(self, instr)
         self.instructions_executed += 1
+        if self.obs.counters.enabled:
+            self.obs.counters.inc(
+                f"isa.{instr.opcode.name.lower()}")
 
     def report(self) -> CycleReport:
         """Cost the recorded trace on the SparseCore model."""
@@ -156,6 +165,8 @@ class StreamExecutor:
         self._keys.pop(sreg.index, None)
         self._vals.pop(sreg.index, None)
         self.spills += 1
+        if self.obs.counters.enabled:
+            self.obs.counters.inc("smt.evictions")
 
     def _swap_in(self, sid: int) -> None:
         """Restore a spilled stream into a register (spilling another
@@ -182,6 +193,8 @@ class StreamExecutor:
         else:
             self._pending_mem[sreg] = (cost.cpu_cycles, cost.sc_cycles)
         self.swap_ins += 1
+        if self.obs.counters.enabled:
+            self.obs.counters.inc("smt.swap_ins")
 
     # -- precise exceptions (Section 5.1) ---------------------------------
 
@@ -189,6 +202,8 @@ class StreamExecutor:
         import copy
 
         self.checkpoints_taken += 1
+        if self.obs.counters.enabled:
+            self.obs.counters.inc("executor.checkpoints")
         return {
             "regs": dict(self.regs),
             "smt": copy.deepcopy(self.smt.entries),
@@ -210,6 +225,8 @@ class StreamExecutor:
         self._pending_mem = snapshot["pending"]
         self._spilled = snapshot["spilled"]
         self.rollbacks += 1
+        if self.obs.counters.enabled:
+            self.obs.counters.inc("executor.rollbacks")
 
     def _stream_keys(self, sid: int) -> np.ndarray:
         return self._keys[self._entry(sid).sreg]

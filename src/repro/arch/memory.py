@@ -23,6 +23,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.arch.config import CacheConfig
+from repro.obs.counters import NULL_COUNTERS
+
+#: DRAM row-buffer size assumed by the row-activation estimate: every
+#: DRAM-served granule activates ``ceil(nbytes / ROW_BUFFER_BYTES)``
+#: rows (streams are sequential, so within-granule accesses hit the
+#: open row).
+ROW_BUFFER_BYTES = 8 * 1024
 
 
 class LruBytes:
@@ -82,6 +89,10 @@ class CacheHierarchy:
     #: Include the L1 level (the CPU path; SparseCore stream fetches
     #: bypass L1 into the S-Cache, Section 4.3).
     use_l1: bool = True
+    #: Observability sink and the counter-name prefix of this instance
+    #: (e.g. ``mem.cpu`` / ``mem.sc``).
+    counters: object = NULL_COUNTERS
+    name: str = "mem"
 
     def __post_init__(self):
         c = self.config
@@ -89,6 +100,19 @@ class CacheHierarchy:
         self._l2 = LruBytes(c.l2_bytes)
         self._l3 = LruBytes(c.l3_bytes)
         self.stats = MemoryStats()
+
+    def _count_level(self, level: str, nbytes: int, lines: int,
+                     cost: float) -> None:
+        counters = self.counters
+        counters.inc(f"{self.name}.dram_accesses" if level == "dram"
+                     else f"{self.name}.{level}_hits")
+        counters.add(f"{self.name}.lines_transferred", lines)
+        counters.add(f"{self.name}.stall_cycles", cost)
+        if level == "dram":
+            counters.add(f"{self.name}.dram_bytes",
+                         lines * self.config.line_bytes)
+            counters.add(f"{self.name}.dram_row_activations",
+                         -(-nbytes // ROW_BUFFER_BYTES))
 
     def lines_for(self, nbytes: int) -> int:
         if nbytes <= 0:
@@ -114,17 +138,20 @@ class CacheHierarchy:
 
         if in_l1:
             self.stats.l1_hits += 1
-            cost = float(c.l1_latency)
+            level, cost = "l1", float(c.l1_latency)
         elif in_l2:
             self.stats.l2_hits += 1
-            cost = c.l2_latency + (lines - 1) * c.l2_line_cost
+            level, cost = "l2", c.l2_latency + (lines - 1) * c.l2_line_cost
         elif in_l3:
             self.stats.l3_hits += 1
-            cost = c.l3_latency + (lines - 1) * c.l3_line_cost
+            level, cost = "l3", c.l3_latency + (lines - 1) * c.l3_line_cost
         else:
             self.stats.dram_accesses += 1
+            level = "dram"
             cost = c.dram_latency + (lines - 1) * c.dram_line_cost
         self.stats.stall_cycles += cost
+        if self.counters.enabled:
+            self._count_level(level, nbytes, lines, cost)
         return cost
 
     def access_pipelined(self, key: tuple, nbytes: int) -> float:
@@ -145,14 +172,16 @@ class CacheHierarchy:
         in_l3 = self._l3.access(key, nbytes)
         if in_l2:
             self.stats.l2_hits += 1
-            cost = lines * c.l2_line_cost
+            level, cost = "l2", lines * c.l2_line_cost
         elif in_l3:
             self.stats.l3_hits += 1
-            cost = lines * c.l3_line_cost
+            level, cost = "l3", lines * c.l3_line_cost
         else:
             self.stats.dram_accesses += 1
-            cost = lines * c.dram_line_cost
+            level, cost = "dram", lines * c.dram_line_cost
         self.stats.stall_cycles += cost
+        if self.counters.enabled:
+            self._count_level(level, nbytes, lines, cost)
         return float(cost)
 
     def reset(self) -> None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.arch.sparsecore import SparseCoreModel
 from repro.arch.trace import FrozenTrace, Trace
+from repro.obs.counters import NULL_COUNTERS
 
 
 @dataclass
@@ -75,7 +76,8 @@ class MultiCoreModel:
             sc_only_scalar_instrs=int(t.sc_only_scalar_instrs * share),
         )
 
-    def cost(self, trace: Trace | FrozenTrace) -> MultiCoreReport:
+    def cost(self, trace: Trace | FrozenTrace,
+             counters=NULL_COUNTERS) -> MultiCoreReport:
         t = trace.freeze() if isinstance(trace, Trace) else trace
         single = self.base_model.cost(t).total_cycles
         if self.num_cores == 1 or t.num_ops == 0:
@@ -88,6 +90,13 @@ class MultiCoreModel:
         ]
         slowest = max(shard_cycles)
         average = sum(shard_cycles) / len(shard_cycles)
+        if counters.enabled:
+            counters.add("multicore.cores", self.num_cores)
+            for core, cycles in enumerate(shard_cycles):
+                counters.add(f"multicore.shard.{core}.cycles", cycles)
+                counters.add(f"multicore.shard.{core}.ops",
+                             int(shard_idx[core].size))
+            counters.add("multicore.slowest_shard_cycles", slowest)
         return MultiCoreReport(
             cores=self.num_cores,
             single_core_cycles=single,

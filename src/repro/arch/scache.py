@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.counters import NULL_COUNTERS
+
 
 @dataclass
 class SlotState:
@@ -47,10 +49,12 @@ class SCacheStats:
 class StreamCache:
     """Slot-state model of the S-Cache."""
 
-    def __init__(self, num_slots: int = 16, slot_keys: int = 64):
+    def __init__(self, num_slots: int = 16, slot_keys: int = 64,
+                 counters=NULL_COUNTERS):
         self.slot_keys = slot_keys
         self.slots = [SlotState() for _ in range(num_slots)]
         self.stats = SCacheStats()
+        self.counters = counters
 
     def fill_initial(self, slot: int, stream_len: int) -> int:
         """``S_READ``: fetch the first slot's worth of keys.
@@ -63,6 +67,10 @@ class StreamCache:
         state.holds_start = True
         self.stats.fills += 1
         self.stats.keys_fetched += state.resident_keys
+        if self.counters.enabled:
+            self.counters.inc("scache.fills")
+            self.counters.add("scache.keys_fetched", state.resident_keys)
+            self.counters.inc(f"scache.slot.{slot}.fills")
         return state.resident_keys
 
     def demand_refills(self, slot: int) -> int:
@@ -75,6 +83,10 @@ class StreamCache:
         refills = -(-remaining // self.slot_keys)
         self.stats.fills += refills
         self.stats.keys_fetched += remaining
+        if self.counters.enabled:
+            self.counters.add("scache.refills", refills)
+            self.counters.add("scache.keys_fetched", remaining)
+            self.counters.add(f"scache.slot.{slot}.refills", refills)
         return refills
 
     def write_result(self, slot: int, result_len: int) -> int:
@@ -88,13 +100,22 @@ class StreamCache:
         state.holds_start = result_len <= self.slot_keys
         self.stats.writebacks += spilled_groups
         self.stats.keys_written_back += max(0, result_len - state.resident_keys)
+        if self.counters.enabled:
+            self.counters.add("scache.writebacks", spilled_groups)
+            self.counters.add("scache.keys_written_back",
+                              max(0, result_len - state.resident_keys))
         return spilled_groups
 
     def whole_stream_resident(self, slot: int) -> bool:
         """True when a dependent op can read the stream straight from
         the slot (result shorter than 64 keys, Section 4.4)."""
         state = self.slots[slot]
-        return state.holds_start and state.total_keys <= self.slot_keys
+        resident = state.holds_start and state.total_keys <= self.slot_keys
+        if self.counters.enabled:
+            self.counters.inc(
+                f"scache.slot.{slot}."
+                + ("resident_hits" if resident else "resident_misses"))
+        return resident
 
     def release(self, slot: int) -> None:
         self.slots[slot].reset()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.memory import LruBytes
+from repro.obs.counters import NULL_COUNTERS
 
 
 @dataclass
@@ -28,25 +29,37 @@ class ScratchpadStats:
 class Scratchpad:
     """Priority-gated LRU over stream granules."""
 
-    def __init__(self, capacity_bytes: int = 16 * 1024):
+    def __init__(self, capacity_bytes: int = 16 * 1024,
+                 counters=NULL_COUNTERS):
         self.capacity = capacity_bytes
         self._lru = LruBytes(capacity_bytes)
         self.stats = ScratchpadStats()
+        self.counters = counters
 
     def access(self, key: tuple, nbytes: int, priority: int) -> bool:
         """Touch stream granule ``key``; returns True when served from
         the scratchpad (no memory traffic).  Priority-0 streams bypass."""
         if priority <= 0:
             self.stats.bypasses += 1
+            if self.counters.enabled:
+                self.counters.inc("scratchpad.bypasses")
             return False
         if nbytes > self.capacity:
             self.stats.misses += 1
+            if self.counters.enabled:
+                self.counters.inc("scratchpad.misses")
             return False
         hit = self._lru.access(key, nbytes)
         if hit:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
+        if self.counters.enabled:
+            if hit:
+                self.counters.inc("scratchpad.pin_hits")
+                self.counters.add("scratchpad.bytes_served", nbytes)
+            else:
+                self.counters.inc("scratchpad.misses")
         return hit
 
     @property

@@ -16,17 +16,20 @@ import bisect
 import numpy as np
 
 from repro.errors import ArchFault
+from repro.obs.counters import NULL_COUNTERS
 
 
 class SimMemory:
     """Bump-pointer simulated memory of registered numpy arrays."""
 
-    def __init__(self, *, alignment: int = 64, base: int = 0x1000):
+    def __init__(self, *, alignment: int = 64, base: int = 0x1000,
+                 counters=NULL_COUNTERS):
         self._alignment = alignment
         self._next = base
         self._bases: list[int] = []       # sorted base addresses
         self._arrays: list[np.ndarray] = []
         self._names: list[str] = []
+        self.counters = counters
 
     def register(self, array: np.ndarray, name: str = "array") -> int:
         """Map ``array`` into the address space; returns its base address."""
@@ -38,6 +41,9 @@ class SimMemory:
         size = max(array.nbytes, 1)
         self._next = base + ((size + self._alignment - 1)
                              // self._alignment) * self._alignment
+        if self.counters.enabled:
+            self.counters.inc("simmem.registrations")
+            self.counters.add("simmem.bytes_registered", array.nbytes)
         return base
 
     def _locate(self, addr: int) -> tuple[int, np.ndarray, int]:
@@ -53,6 +59,10 @@ class SimMemory:
     def view(self, addr: int, length: int) -> np.ndarray:
         """Resolve (address, element count) to an array view."""
         idx, array, offset_bytes = self._locate(addr)
+        if self.counters.enabled:
+            self.counters.inc("simmem.views")
+            self.counters.add("simmem.bytes_viewed",
+                              length * array.itemsize)
         itemsize = array.itemsize
         if offset_bytes % itemsize:
             raise ArchFault(

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import StreamRegisterPressureFault, UnknownStreamFault
+from repro.obs.counters import NULL_COUNTERS
 
 
 @dataclass
@@ -53,11 +54,12 @@ class SmtEntry:
 class StreamMappingTable:
     """The SMT: one entry per stream register."""
 
-    def __init__(self, num_entries: int = 16):
+    def __init__(self, num_entries: int = 16, counters=NULL_COUNTERS):
         self.entries = [SmtEntry(sreg=i) for i in range(num_entries)]
         #: count of define stalls that would occur in hardware when all
         #: stream registers are active (Section 4.1).
         self.pressure_events = 0
+        self.counters = counters
 
     # -- lookup ---------------------------------------------------------------
 
@@ -85,6 +87,8 @@ class StreamMappingTable:
                 entry.produced = False
                 entry.pred0 = pred0
                 entry.pred1 = pred1
+                if self.counters.enabled:
+                    self.counters.inc("smt.redefines")
                 return entry
         for entry in self.entries:
             if not entry.va:
@@ -95,8 +99,12 @@ class StreamMappingTable:
                 entry.produced = False
                 entry.pred0 = pred0
                 entry.pred1 = pred1
+                if self.counters.enabled:
+                    self.counters.inc("smt.allocations")
                 return entry
         self.pressure_events += 1
+        if self.counters.enabled:
+            self.counters.inc("smt.pressure_faults")
         raise StreamRegisterPressureFault(
             f"all {len(self.entries)} stream registers are active; "
             f"cannot define stream {sid}"
@@ -109,6 +117,8 @@ class StreamMappingTable:
         architectural exception of Section 3.3."""
         entry = self.lookup(sid)
         entry.vd = False
+        if self.counters.enabled:
+            self.counters.inc("smt.frees")
         return entry
 
     def free_retire(self, entry: SmtEntry) -> None:

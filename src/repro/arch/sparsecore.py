@@ -27,7 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.config import SparseCoreConfig
-from repro.arch.trace import NO_BURST, CycleReport, FrozenTrace, Trace
+from repro.arch.trace import NO_BURST, CycleReport, FrozenTrace, OpKind, Trace
+from repro.obs.counters import NULL_COUNTERS
 
 #: Fraction of scalar "other computation" hidden under stream-unit work
 #: by the out-of-order core (Section 6.4: "SparseCore can overlap Other
@@ -50,13 +51,24 @@ class SparseCoreModel:
 
     # -- burst aggregation --------------------------------------------------
 
-    def _burst_times(
+    def segment_times(
         self, su_cycles: np.ndarray, elems: np.ndarray, burst: np.ndarray
-    ) -> float:
-        """Total stream-compute time under SU-count/bandwidth limits."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment stream-compute times under SU/bandwidth limits.
+
+        Ops are grouped into overlap segments (explicit bursts, plus
+        implicit-overlap windows of singleton ops); each segment's time
+        is ``max(longest op, ceil(work / num_sus), elems / bandwidth)``.
+        Returns ``(starts, times)``: the op index opening each segment
+        and that segment's cycles.  The cycle-attribution report
+        (:mod:`repro.obs.attribution`) distributes exactly these times
+        back over the ops of each segment, so the decomposition it
+        prints is the cost model's own arithmetic, not a re-derivation.
+        """
         c = self.config
         if su_cycles.size == 0:
-            return 0.0
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.astype(np.float64)
         # Group singleton ops into implicit-overlap windows.
         group = burst.copy()
         singles = group == NO_BURST
@@ -73,11 +85,18 @@ class SparseCoreModel:
             longest,
             np.maximum(work / c.num_sus, moved / c.scache_bandwidth),
         )
-        return float(times.sum())
+        return change, times
+
+    def _burst_times(
+        self, su_cycles: np.ndarray, elems: np.ndarray, burst: np.ndarray
+    ) -> float:
+        """Total stream-compute time under SU-count/bandwidth limits."""
+        return float(self.segment_times(su_cycles, elems, burst)[1].sum())
 
     # -- cost -----------------------------------------------------------------
 
-    def cost(self, trace: Trace | FrozenTrace) -> CycleReport:
+    def cost(self, trace: Trace | FrozenTrace,
+             counters=NULL_COUNTERS) -> CycleReport:
         t = trace.freeze() if isinstance(trace, Trace) else trace
         c = self.config
 
@@ -107,6 +126,22 @@ class SparseCoreModel:
         other = other_raw - hidden
 
         total = intersection + cache + branch + other
+        if counters.enabled:
+            for kind in OpKind:
+                n = int((t.kind == int(kind)).sum())
+                if n:
+                    counters.add(f"model.sc.ops.{kind.name.lower()}", n)
+            counters.add("model.sc.ops.nested", n_nested)
+            counters.add("model.sc.svpu_flop_pairs",
+                         int(t.flop_pairs.sum()))
+            counters.add("model.sc.su_cycles", int(t.su_cycles.sum()))
+            counters.add("model.sc.issue_cycles", issue)
+            counters.add("model.sc.intersection_cycles", intersection)
+            counters.add("model.sc.cache_cycles", cache)
+            counters.add("model.sc.branch_cycles", branch)
+            counters.add("model.sc.other_cycles", other)
+            counters.add("model.sc.hidden_other_cycles", hidden)
+            counters.add("model.sc.total_cycles", total)
         return CycleReport(
             machine=self.name,
             cache_cycles=cache,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.counters import NULL_COUNTERS
 from repro.streams.runstats import SU_BUFFER_WIDTH, truncate_bound
 
 
@@ -44,8 +45,10 @@ class SuRun:
 class StreamUnit:
     """Operational model of one SU's parallel comparison."""
 
-    def __init__(self, width: int = SU_BUFFER_WIDTH):
+    def __init__(self, width: int = SU_BUFFER_WIDTH,
+                 counters=NULL_COUNTERS):
         self.width = width
+        self.counters = counters
 
     def run(self, a: np.ndarray, b: np.ndarray, kind: str = "intersect",
             bound: int = -1, *, record_steps: bool = False) -> SuRun:
@@ -109,6 +112,7 @@ class StreamUnit:
             out.extend(emitted)
             if record_steps:
                 steps.append(SuStep(cycles, i, j, adv_a, adv_b, emitted))
+        compare_cycles = cycles
         # Tail: remaining keys of the unexhausted stream.
         for tail, source in ((xs[i:], "a"), (ys[j:], "b")):
             if not tail:
@@ -121,5 +125,16 @@ class StreamUnit:
                 continue
             if kind != "intersect":
                 cycles += -(-len(tail) // self.width)
+        if self.counters.enabled:
+            # Every main-loop cycle drives both comparison windows
+            # (width keys per stream); tail/drain cycles compare nothing.
+            self.counters.inc(f"su.ops.{kind}")
+            self.counters.add("su.busy_cycles", cycles)
+            self.counters.add("su.compare_cycles", compare_cycles)
+            self.counters.add("su.drain_cycles", cycles - compare_cycles)
+            self.counters.add("su.comparisons",
+                              2 * self.width * compare_cycles)
+            self.counters.add("su.keys_emitted", len(out))
+            self.counters.add("su.keys_consumed", i + j)
         return SuRun(kind=kind, cycles=cycles,
                      output=np.asarray(out, dtype=np.int64), steps=steps)

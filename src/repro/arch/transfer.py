@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.arch.config import SparseCoreConfig
 from repro.arch.memory import CacheHierarchy
 from repro.arch.scratchpad import Scratchpad
+from repro.obs.counters import NULL_COUNTERS
 
 #: Memory-level parallelism of SparseCore's value-gather path: the
 #: VA_gen -> load queue -> vBuf pipeline (Section 4.5) keeps several
@@ -36,12 +37,19 @@ class StreamLoadCost:
 class TransferModel:
     """Paired CPU/SparseCore data-movement model."""
 
-    def __init__(self, config: SparseCoreConfig | None = None):
+    def __init__(self, config: SparseCoreConfig | None = None,
+                 counters=NULL_COUNTERS):
         self.config = config or SparseCoreConfig()
+        self.counters = counters
         cache = self.config.cache
-        self.cpu_hierarchy = CacheHierarchy(cache, use_l1=True)
-        self.sc_hierarchy = CacheHierarchy(cache, use_l1=False)
-        self.scratchpad = Scratchpad(self.config.scratchpad_bytes)
+        self.cpu_hierarchy = CacheHierarchy(cache, use_l1=True,
+                                            counters=counters,
+                                            name="mem.cpu")
+        self.sc_hierarchy = CacheHierarchy(cache, use_l1=False,
+                                           counters=counters,
+                                           name="mem.sc")
+        self.scratchpad = Scratchpad(self.config.scratchpad_bytes,
+                                     counters=counters)
         self.stream_loads = 0
 
     def load_stream(self, key: tuple, nbytes: int,
@@ -57,6 +65,9 @@ class TransferModel:
             sc = 0.0
         else:
             sc = self.sc_hierarchy.access_pipelined(key, nbytes)
+        if self.counters.enabled:
+            self.counters.inc("transfer.stream_loads")
+            self.counters.add("transfer.stream_bytes", nbytes)
         return StreamLoadCost(cpu, sc, sc == 0.0 and priority > 0)
 
     def load_values(self, key: tuple, nbytes: int) -> StreamLoadCost:
@@ -69,6 +80,9 @@ class TransferModel:
         cpu = self.cpu_hierarchy.access(key, nbytes)
         demand = self.sc_hierarchy.access(key, nbytes)
         sc = demand / VALUE_GATHER_MLP
+        if self.counters.enabled:
+            self.counters.inc("transfer.value_loads")
+            self.counters.add("transfer.value_bytes", nbytes)
         return StreamLoadCost(cpu, sc, False)
 
     def reset(self) -> None:

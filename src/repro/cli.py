@@ -18,7 +18,13 @@ Commands:
     backend (functional / pure-Python / stream-unit / machine /
     executor, plus the GPM and tensor stacks) and check cycle-model
     invariants.  ``--self-check`` proves the harness catches a planted
-    off-by-one.
+    off-by-one.  ``--json`` emits the machine-readable report.
+``profile <workload> [--json] [--trace FILE] [--timeline] [--smoke]``
+    Run one GPM pattern or tensor kernel under the observability probe:
+    hierarchical performance counters, five-bucket cycle attribution
+    (checked against the cost model's total), and a Chrome trace-event
+    export loadable in Perfetto (``--trace``).  ``--smoke`` profiles the
+    CI pair (triangle + spmspm) with all checks enforced.
 """
 
 from __future__ import annotations
@@ -57,6 +63,10 @@ def _cmd_run(args) -> int:
                                     for k, v in cpu.breakdown().items()})
     print("sparsecore breakdown:", {k: round(v, 3)
                                     for k, v in sc.breakdown().items()})
+    from repro.eval.reporting import render_cycle_reports
+
+    print()
+    print(render_cycle_reports([cpu, sc], "per-component cycles"))
     return 0
 
 
@@ -158,10 +168,15 @@ def _cmd_spmspm(args) -> int:
     sc = SparseCoreModel().cost(machine.trace)
     print(f"C: {result}")
     print(f"speedup vs CPU: {sc.speedup_over(cpu):.2f}x")
+    from repro.eval.reporting import render_cycle_reports
+
+    print(render_cycle_reports([cpu, sc], "per-component cycles"))
     return 0
 
 
 def _cmd_difftest(args) -> int:
+    import json
+
     from repro.difftest import Sizes, run_one, run_sweep, self_check
 
     sizes = Sizes.smoke() if args.smoke else None
@@ -186,8 +201,68 @@ def _cmd_difftest(args) -> int:
     kwargs = {"families": families} if families else {}
     report = run_sweep(n_cases=n_cases, root_seed=args.seed,
                        sizes=sizes, **kwargs)
-    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.obs.profile import (
+        ProfileArgs,
+        profile_workload,
+        smoke,
+        workload_names,
+        write_chrome_trace,
+    )
+
+    pargs = ProfileArgs(graph=args.graph, matrix=args.matrix,
+                        tensor=args.tensor, scale=args.scale,
+                        max_events=args.max_events)
+
+    if args.smoke:
+        # CI pair: one GPM pattern + one SpMSpM kernel; the attribution
+        # and trace-schema checks inside raise (non-zero exit) on
+        # violation.
+        for result in smoke(pargs):
+            sc, cpu = result.sc_report, result.cpu_report
+            print(f"profile --smoke {result.workload}: "
+                  f"attribution ok ({result.attribution.attributed_cycles:.6g}"
+                  f" == {sc.total_cycles:.6g} cycles), "
+                  f"trace schema ok ({len(result.tracer.events)} events), "
+                  f"speedup {sc.speedup_over(cpu):.2f}x")
+        return 0
+
+    if args.workload is None:
+        print("available workloads:")
+        from repro.obs.profile import WORKLOADS
+
+        for spec in WORKLOADS.values():
+            print(f"  {spec.name:16s} [{spec.family}]  {spec.description}")
+        return 0
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; "
+              f"known: {', '.join(workload_names())}")
+        return 2
+
+    result = profile_workload(args.workload, pargs)
+    if args.trace:
+        write_chrome_trace(result, args.trace)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render())
+        if args.timeline:
+            print()
+            print(result.tracer.timeline())
+        if args.trace:
+            print(f"\nchrome trace written to {args.trace} "
+                  f"(open at https://ui.perfetto.dev)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,6 +316,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-run one case from its printed seed")
     difftest.add_argument("--self-check", action="store_true",
                           help="verify the harness catches a planted bug")
+    difftest.add_argument("--json", action="store_true",
+                          help="emit the sweep report as JSON")
+
+    profile = sub.add_parser(
+        "profile", help="profile a workload with counters/trace/attribution")
+    profile.add_argument("workload", nargs="?", default=None,
+                         help="GPM pattern or tensor kernel "
+                              "(run without arguments for the list)")
+    profile.add_argument("--graph", default="citeseer",
+                         help="graph dataset for GPM workloads")
+    profile.add_argument("--matrix", default="laser",
+                         help="matrix dataset for spmspm workloads")
+    profile.add_argument("--tensor", default="Ch",
+                         help="tensor dataset for ttv/ttm workloads")
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="graph scale factor")
+    profile.add_argument("--max-events", type=int, default=200_000,
+                         help="tracer retention cap (overflow is counted)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the full profile as JSON")
+    profile.add_argument("--trace", metavar="FILE",
+                         help="write Chrome trace-event JSON (Perfetto)")
+    profile.add_argument("--timeline", action="store_true",
+                         help="print the plain-text event timeline")
+    profile.add_argument("--smoke", action="store_true",
+                         help="profile the CI pair (triangle + spmspm) "
+                              "with attribution/schema checks enforced")
     return parser
 
 
@@ -252,6 +354,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "spmspm": _cmd_spmspm,
     "difftest": _cmd_difftest,
+    "profile": _cmd_profile,
 }
 
 

@@ -251,12 +251,16 @@ def run_stream_unit(case: StreamCase) -> list:
     return results
 
 
-def run_machine(case: StreamCase) -> list:
+def run_machine(case: StreamCase, machine=None) -> list:
     """The recording machine context; counts come from merge-run
-    analytics rather than the functional kernels."""
+    analytics rather than the functional kernels.
+
+    ``machine`` lets callers supply their own (e.g. a probed machine
+    whose trace/counters they want to inspect afterwards, as the obs
+    parity and attribution tests do)."""
     from repro.machine.context import Machine
 
-    machine = Machine(name=f"difftest-{case.seed}")
+    machine = machine or Machine(name=f"difftest-{case.seed}")
     graph = case.graph()
     slots: list = []
     for i, inp in enumerate(case.inputs):

@@ -65,6 +65,38 @@ class DifftestReport:
                      f"{len(self.violations)} invariant violations)")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """Machine-readable sweep outcome (``difftest --json``)."""
+        from repro.obs.schema import to_jsonable
+
+        return to_jsonable({
+            "schema_version": 1,
+            "root_seed": self.root_seed,
+            "ok": self.ok,
+            "elapsed_s": self.elapsed_s,
+            "cases": dict(self.cases),
+            "total_cases": sum(self.cases.values()),
+            "backend_participation": {
+                family: dict(parts)
+                for family, parts in self.backend_participation.items()
+            },
+            "mismatches": [
+                {
+                    "family": m.family,
+                    "seed": m.seed,
+                    "node": m.node,
+                    "results": {name: repr(res)
+                                for name, res in m.results.items()},
+                    "minimized": m.minimized.describe(),
+                }
+                for m in self.mismatches
+            ],
+            "violations": [
+                {"name": v.name, "seed": v.seed, "detail": v.detail}
+                for v in self.violations
+            ],
+        })
+
 
 def _count_participation(report: DifftestReport, case,
                          results: dict) -> None:

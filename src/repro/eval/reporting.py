@@ -42,6 +42,37 @@ def render(rows: Iterable[dict], title: str = "") -> str:
     return "\n".join(out)
 
 
+def cycle_report_rows(reports: Iterable) -> list[dict]:
+    """Rows for :class:`~repro.arch.trace.CycleReport` objects with the
+    per-component cycle columns, not only the total.
+
+    One row per machine: absolute cycles for each Figure 9/10 component
+    (intersection, cache, mispredict, other) plus the component's share
+    of that machine's total.
+    """
+    rows = []
+    for rep in reports:
+        fracs = rep.breakdown()
+        rows.append({
+            "machine": rep.machine,
+            "total": rep.total_cycles,
+            "intersection": rep.intersection_cycles,
+            "cache": rep.cache_cycles,
+            "mispred": rep.branch_cycles,
+            "other": rep.other_cycles,
+            "intersect%": f"{100 * fracs['Intersection']:.1f}",
+            "cache%": f"{100 * fracs['Cache']:.1f}",
+            "mispred%": f"{100 * fracs['Mispred.']:.1f}",
+            "other%": f"{100 * fracs['Other computation']:.1f}",
+        })
+    return rows
+
+
+def render_cycle_reports(reports: Iterable, title: str = "") -> str:
+    """Render cycle reports as a per-component comparison table."""
+    return render(cycle_report_rows(reports), title)
+
+
 def gmean(values: Iterable[float]) -> float:
     """Geometric mean (the aggregation the paper's summaries use)."""
     import math

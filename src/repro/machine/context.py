@@ -28,9 +28,10 @@ from typing import Iterator
 import numpy as np
 
 from repro.arch.config import SparseCoreConfig
-from repro.arch.trace import NO_BURST, OpKind, Trace
+from repro.arch.trace import NO_BURST, OpKind, Trace, su_cycles_for
 from repro.arch.transfer import TransferModel
 from repro.errors import StreamTypeFault
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.streams import ops
 from repro.streams.runstats import UNBOUNDED, analyze_pair
 from repro.streams.stream import KEY_BYTES
@@ -106,15 +107,20 @@ class Machine:
     """Recording machine: functional results + cost trace."""
 
     def __init__(self, config: SparseCoreConfig | None = None,
-                 name: str = "run", record_lengths: bool = False):
+                 name: str = "run", record_lengths: bool = False,
+                 probe: Probe | None = None):
         self.config = config or SparseCoreConfig()
+        self.obs = probe or NULL_PROBE
         self.trace = Trace(name)
-        self.transfer = TransferModel(self.config)
+        self.transfer = TransferModel(self.config, self.obs.counters)
         self._burst = NO_BURST
         self._width = self.config.su_buffer_width
         self.record_lengths = record_lengths
         #: operand-length samples for the Figure 14 CDFs
         self.length_samples: list[int] = []
+        #: tracer time axis: a sequential model-cycle clock (ops advance
+        #: it by their SU time, stalls by their charged cycles)
+        self._clock = 0.0
 
     # -- stream initialization (S_READ / S_VREAD) -----------------------------
 
@@ -131,6 +137,19 @@ class Machine:
                 granule, keys.size * KEY_BYTES, priority)
             operand.pending_cpu = cost.cpu_cycles
             operand.pending_sc = cost.sc_cycles
+            if self.obs.enabled:
+                counters = self.obs.counters
+                if counters.enabled:
+                    counters.inc("machine.stream_loads")
+                    counters.add("machine.stream_bytes",
+                                 keys.size * KEY_BYTES)
+                tracer = self.obs.tracer
+                if tracer.enabled:
+                    tracer.instant("fetch " + granule[0], "fetch",
+                                   self._clock, tid=1,
+                                   granule=repr(granule),
+                                   bytes=keys.size * KEY_BYTES,
+                                   scratchpad_hit=cost.scratchpad_hit)
         return operand
 
     def load_values(self, keys: np.ndarray, values: np.ndarray,
@@ -172,10 +191,21 @@ class Machine:
         """Bracket independent operations (SU-parallel work)."""
         prev = self._burst
         self._burst = self.trace.new_burst()
+        burst_id = self._burst
+        start_clock = self._clock
+        start_ops = self.trace.num_ops
         try:
             yield self._burst
         finally:
             self._burst = prev
+            if self.obs.enabled:
+                if self.obs.counters.enabled:
+                    self.obs.counters.inc("machine.bursts")
+                tracer = self.obs.tracer
+                if tracer.enabled and self.trace.num_ops > start_ops:
+                    tracer.span(f"burst {burst_id}", "burst", start_clock,
+                                self._clock - start_clock, tid=2,
+                                ops=self.trace.num_ops - start_ops)
 
     # -- scalar accounting -------------------------------------------------------
 
@@ -187,6 +217,48 @@ class Machine:
 
     def sc_loop(self, n: int) -> None:
         self.trace.add_sc_scalar(n)
+
+    # -- observability -----------------------------------------------------------
+
+    def _observe_op(self, kind: OpKind, stats, *, nested: bool = False,
+                    cpu_mem: float = 0.0, sc_mem: float = 0.0,
+                    flop_pairs: int = 0) -> None:
+        """Count and trace one recorded stream operation.
+
+        Called only when ``self.obs.enabled`` — a run without a probe
+        pays a single attribute check per op.
+        """
+        su = su_cycles_for(kind, stats)
+        name = kind.name.lower()
+        counters = self.obs.counters
+        if counters.enabled:
+            counters.inc(f"machine.ops.{name}")
+            if nested:
+                counters.inc("machine.ops.nested")
+            counters.add("su.busy_cycles", su)
+            counters.add("machine.matches", stats.n_matches)
+            counters.add("machine.eff_elems", stats.eff_a + stats.eff_b)
+            if sc_mem:
+                counters.add("machine.sc_stall_cycles", sc_mem)
+            if cpu_mem:
+                counters.add("machine.cpu_stall_cycles", cpu_mem)
+            if flop_pairs:
+                counters.add("svpu.flop_pairs", flop_pairs)
+                counters.add("svpu.value_loads", 1)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            # SVPU FLOPs overlap the SU key walk (Section 4.5): the
+            # span covers whichever side dominates, as the model does.
+            dur = max(su, flop_pairs * self.config.flop_cycles_per_pair)
+            tracer.span(name, "su", self._clock, dur, tid=0,
+                        burst=self._burst, matches=stats.n_matches,
+                        eff_elems=stats.eff_a + stats.eff_b)
+            if sc_mem > 0:
+                tracer.span("stall", "stall", self._clock + dur, sc_mem,
+                            tid=1, cycles=sc_mem)
+            self._clock += dur + sc_mem
+        else:
+            self._clock += su + sc_mem
 
     # -- compute ops -------------------------------------------------------------
 
@@ -208,6 +280,11 @@ class Machine:
             flop_pairs=flop_pairs,
         )
         self.trace.add_scalar(OP_SETUP_INSTRS)
+        if self.obs.enabled:
+            self._observe_op(kind, stats, nested=nested,
+                             cpu_mem=cpu_a + cpu_b + extra_mem[0],
+                             sc_mem=sc_a + sc_b + extra_mem[1],
+                             flop_pairs=flop_pairs)
         if self.record_lengths:
             self.length_samples.append(len(a))
             self.length_samples.append(len(b))
@@ -282,6 +359,11 @@ class Machine:
             flop_pairs=stats.n_matches,
         )
         self.trace.add_scalar(OP_SETUP_INSTRS)
+        if self.obs.enabled:
+            self._observe_op(OpKind.VINTER, stats,
+                             cpu_mem=cpu_a + cpu_b + gather[0],
+                             sc_mem=sc_a + sc_b + gather[1],
+                             flop_pairs=stats.n_matches)
         return ops.vinter(a.keys, av, b.keys, bv, op, bound)
 
     def vmerge(self, alpha: float, a: StreamOperand,
@@ -302,6 +384,11 @@ class Machine:
             flop_pairs=n_out,
         )
         self.trace.add_scalar(OP_SETUP_INSTRS)
+        if self.obs.enabled:
+            self._observe_op(OpKind.VMERGE, stats,
+                             cpu_mem=cpu_a + cpu_b + gather[0],
+                             sc_mem=sc_a + sc_b + gather[1],
+                             flop_pairs=n_out)
         keys, vals = ops.vmerge(alpha, a.keys, av, beta, b.keys, bv)
         return StreamOperand(keys, vals)
 
@@ -327,6 +414,10 @@ class Machine:
                     OpKind.INTERSECT, stats, burst=self._burst, nested=True,
                     cpu_mem=cpu_n + cpu_pend, sc_mem=sc_n + sc_pend,
                 )
+                if self.obs.enabled:
+                    self._observe_op(OpKind.INTERSECT, stats, nested=True,
+                                     cpu_mem=cpu_n + cpu_pend,
+                                     sc_mem=sc_n + sc_pend)
                 cpu_pend = sc_pend = 0.0
                 self.trace.add_cpu_scalar(CPU_NESTED_LOOP_INSTRS)
                 if self.record_lengths:

@@ -1,0 +1,54 @@
+"""Observability: performance counters, event traces, cycle attribution.
+
+The profiling layer threaded through the simulated machine stack:
+
+* :mod:`repro.obs.counters` — hierarchical named counters with a
+  zero-overhead null sink (the default everywhere).
+* :mod:`repro.obs.tracer` — structured span/instant events exported as
+  Chrome trace-event JSON (Perfetto-loadable) or a text timeline.
+* :mod:`repro.obs.probe` — the counters+tracer bundle components take.
+* :mod:`repro.obs.schema` — validation of the emitted JSON and the
+  shared plain-JSON converter.
+* :mod:`repro.obs.attribution` — decomposes a workload's total cycles
+  into intersect/merge/value/scalar/memory buckets and asserts they
+  re-sum to the cost model's total.
+* :mod:`repro.obs.profile` — the ``python -m repro profile`` workload
+  runner (imported lazily; it pulls in the application stacks).
+
+See ``docs/observability.md`` for the counter naming scheme, the trace
+format, and how to open traces in Perfetto.
+"""
+
+from repro.obs.attribution import (
+    BUCKETS,
+    Attribution,
+    AttributionError,
+    attribute,
+)
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.schema import (
+    TraceSchemaError,
+    to_jsonable,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Attribution",
+    "AttributionError",
+    "BUCKETS",
+    "Counters",
+    "NULL_COUNTERS",
+    "NULL_PROBE",
+    "NULL_TRACER",
+    "NullCounters",
+    "NullTracer",
+    "Probe",
+    "TraceEvent",
+    "TraceSchemaError",
+    "Tracer",
+    "attribute",
+    "to_jsonable",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,135 @@
+"""Hierarchical performance-counter registry.
+
+Every architectural component (Stream Unit, S-Cache, scratchpad, SMT,
+cache hierarchy, machine context, executor) accepts a counter sink and
+increments dot-separated named counters — ``"scache.fills"``,
+``"mem.sc.dram_bytes"``, ``"machine.ops.intersect"`` — as events occur.
+Two sinks exist:
+
+* :class:`Counters` — a real registry backed by one flat dict, with
+  hierarchical views (:meth:`Counters.tree`, :meth:`Counters.subtotal`).
+* :class:`NullCounters` — the default everywhere.  It stores nothing,
+  allocates nothing (``__slots__ = ()``), and every method is a no-op;
+  hot paths additionally guard on the class-level ``enabled`` flag so
+  an uninstrumented run does no per-event work at all.
+
+Counter names form a hierarchy by ``.``-separated segments; there is no
+registration step — the first increment creates the counter.
+"""
+
+from __future__ import annotations
+
+
+class NullCounters:
+    """Zero-overhead sink: drops every increment, holds no state."""
+
+    __slots__ = ()
+    enabled = False
+
+    def inc(self, name: str, n: float = 1) -> None:
+        pass
+
+    add = inc
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def subtotal(self, prefix: str) -> float:
+        return 0.0
+
+    def flat(self) -> dict[str, float]:
+        return {}
+
+    def tree(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NullCounters()"
+
+
+#: The shared default sink.  Components hold a reference to this single
+#: instance; enabling observability means passing a :class:`Counters`
+#: instead — nothing is ever mutated on the null sink.
+NULL_COUNTERS = NullCounters()
+
+
+class Counters:
+    """A live counter registry.
+
+    Values are plain numbers (ints stay ints until a float is added).
+    Names are free-form dot paths; hierarchy is by prefix.
+    """
+
+    __slots__ = ("_values",)
+    enabled = True
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at first increment)."""
+        values = self._values
+        values[name] = values.get(name, 0) + n
+
+    #: ``add`` is an alias: ``inc`` reads better for event counts,
+    #: ``add`` for byte/cycle accumulations.
+    add = inc
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def subtotal(self, prefix: str) -> float:
+        """Sum of every counter at or under ``prefix``."""
+        dotted = prefix + "."
+        return sum(v for k, v in self._values.items()
+                   if k == prefix or k.startswith(dotted))
+
+    def flat(self) -> dict[str, float]:
+        """All counters as one name-sorted flat dict."""
+        return dict(sorted(self._values.items()))
+
+    def tree(self) -> dict:
+        """Counters nested by dot segment.
+
+        A name that is both a leaf and a prefix of deeper names keeps
+        its own value under the ``""`` key of its subtree.
+        """
+        root: dict = {}
+        for name, value in sorted(self._values.items()):
+            node = root
+            parts = name.split(".")
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {} if child is None else {"": child}
+                    node[part] = child
+                node = child
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return root
+
+    # -- maintenance -------------------------------------------------------
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another registry into this one."""
+        for name, value in other._values.items():
+            self.inc(name, value)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({len(self._values)} counters)"
+
+
+__all__ = ["Counters", "NullCounters", "NULL_COUNTERS"]

@@ -1,0 +1,44 @@
+"""The probe: one handle bundling a counter sink and an event tracer.
+
+Components that only count take a bare counter sink; the recording
+machine context takes a :class:`Probe` so one object switches the whole
+stack between "free" (null sinks) and "observed" (live registries).
+``Probe.enabled`` is the single hot-path guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+@dataclass
+class Probe:
+    """Counter + tracer pair handed to the machine stack."""
+
+    counters: Counters | NullCounters = NULL_COUNTERS
+    tracer: Tracer | NullTracer = NULL_TRACER
+
+    @property
+    def enabled(self) -> bool:
+        return self.counters.enabled or self.tracer.enabled
+
+    @classmethod
+    def null(cls) -> "Probe":
+        return NULL_PROBE
+
+    @classmethod
+    def collecting(cls, max_events: int = 200_000) -> "Probe":
+        """A live probe: real counters and a real tracer."""
+        return cls(Counters(), Tracer(max_events=max_events))
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counters.inc(name, n)
+
+
+#: Shared disabled probe (both sinks are the null singletons).
+NULL_PROBE = Probe()
+
+__all__ = ["Probe", "NULL_PROBE"]

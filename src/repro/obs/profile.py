@@ -1,0 +1,302 @@
+"""Profiled workload runs: ``python -m repro profile <workload>``.
+
+Runs one registered workload (a GPM pattern or a tensor kernel) on a
+:class:`~repro.machine.context.Machine` carrying a live
+:class:`~repro.obs.probe.Probe`, then assembles the full observability
+picture:
+
+* the hierarchical counter registry (:mod:`repro.obs.counters`),
+* the event trace with Chrome trace-event export
+  (:mod:`repro.obs.tracer`, validated by :mod:`repro.obs.schema`),
+* the five-bucket cycle attribution (:mod:`repro.obs.attribution`),
+  checked against the cost model's total on every run,
+* the CPU/SparseCore cycle reports for context.
+
+This module imports the GPM and tensor stacks, so it is *not* imported
+from ``repro.obs.__init__`` — the arch layer depends on the leaf obs
+modules only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machine.context import Machine
+from repro.obs.attribution import Attribution, attribute
+from repro.obs.counters import Counters
+from repro.obs.probe import Probe
+from repro.obs.schema import to_jsonable, validate_chrome_trace
+from repro.obs.tracer import Tracer
+
+#: JSON schema version of ``ProfileResult.to_json``.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Tracer lane names written into the Chrome trace metadata.
+THREAD_NAMES = {
+    0: "stream units",
+    1: "memory (fetches / stalls)",
+    2: "bursts",
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One profileable workload: name, family, and a runner."""
+
+    name: str
+    family: str  # "gpm" | "tensor"
+    description: str
+    #: runner(machine, args) -> short result summary (count, nnz, ...)
+    runner: Callable[[Machine, "ProfileArgs"], object]
+
+
+@dataclass
+class ProfileArgs:
+    """Dataset knobs shared by all workloads (CLI flags)."""
+
+    graph: str = "citeseer"
+    matrix: str = "laser"
+    tensor: str = "Ch"
+    scale: float = 1.0
+    max_events: int = 200_000
+
+
+def _gpm(app_code: str):
+    def runner(machine: Machine, args: ProfileArgs):
+        from repro.gpm.apps import run_app
+        from repro.graph.datasets import load_graph
+
+        graph = load_graph(args.graph, args.scale)
+        run = run_app(app_code, graph, machine)
+        return {"graph": str(graph), "count": run.count}
+
+    return runner
+
+
+def _spmspm(dataflow: str):
+    def runner(machine: Machine, args: ProfileArgs):
+        from repro.tensor.datasets import load_matrix
+        from repro.tensorops.taco import compile_expression
+
+        mat = load_matrix(args.matrix)
+        kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
+        result = kernel.run(mat, mat, machine)
+        return {"matrix": str(mat), "C": str(result)}
+
+    return runner
+
+
+def _ttv(machine: Machine, args: ProfileArgs):
+    import numpy as np
+
+    from repro.tensor.datasets import load_tensor
+    from repro.tensorops.taco import compile_expression
+
+    tensor = load_tensor(args.tensor)
+    rng = np.random.default_rng(7)
+    result = compile_expression("Z(i,j) = A(i,j,k) * B(k)").run(
+        tensor, rng.random(tensor.shape[2]), machine)
+    return {"tensor": str(tensor), "Z": str(result)}
+
+
+def _ttm(machine: Machine, args: ProfileArgs):
+    import numpy as np
+
+    from repro.tensor.datasets import load_tensor
+    from repro.tensor.matrix import SparseMatrix
+    from repro.tensorops.taco import compile_expression
+
+    tensor = load_tensor(args.tensor)
+    rng = np.random.default_rng(7)
+    dense = (rng.random((24, tensor.shape[2])) < 0.25) \
+        * rng.uniform(0.1, 1.0, (24, tensor.shape[2]))
+    b = SparseMatrix.from_dense(dense)
+    result = compile_expression("Z(i,j,k) = A(i,j,l) * B(k,l)").run(
+        tensor, b, machine)
+    return {"tensor": str(tensor), "Z": str(result)}
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec("triangle", "gpm",
+                     "triangle counting with S_NESTINTER (app T)",
+                     _gpm("T")),
+        WorkloadSpec("triangle-flat", "gpm",
+                     "triangle counting without nesting (app TS)",
+                     _gpm("TS")),
+        WorkloadSpec("three-chain", "gpm",
+                     "three-chain counting (app TC)", _gpm("TC")),
+        WorkloadSpec("tailed-triangle", "gpm",
+                     "tailed-triangle counting (app TT)", _gpm("TT")),
+        WorkloadSpec("4clique", "gpm", "4-clique counting (app 4C)",
+                     _gpm("4C")),
+        WorkloadSpec("5clique", "gpm", "5-clique counting (app 5C)",
+                     _gpm("5C")),
+        WorkloadSpec("spmspm", "tensor",
+                     "SpMSpM, Gustavson dataflow (taco-compiled)",
+                     _spmspm("gustavson")),
+        WorkloadSpec("spmspm-inner", "tensor",
+                     "SpMSpM, inner-product dataflow", _spmspm("inner")),
+        WorkloadSpec("spmspm-outer", "tensor",
+                     "SpMSpM, outer-product dataflow", _spmspm("outer")),
+        WorkloadSpec("ttv", "tensor", "tensor-times-vector on a CSF tensor",
+                     _ttv),
+        WorkloadSpec("ttm", "tensor", "tensor-times-matrix on a CSF tensor",
+                     _ttm),
+    ]
+}
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOADS)
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiled run observed."""
+
+    workload: str
+    family: str
+    result: object
+    counters: Counters
+    tracer: Tracer
+    attribution: Attribution
+    cpu_report: object
+    sc_report: object
+    chrome_trace: dict = field(default_factory=dict)
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary_rows(self) -> list[dict]:
+        sc, cpu = self.sc_report, self.cpu_report
+        return [
+            {"metric": "workload", "value": self.workload},
+            {"metric": "result", "value": str(self.result)},
+            {"metric": "stream ops", "value":
+                int(self.attribution.detail.get("num_ops", 0))},
+            {"metric": "sparsecore cycles", "value": sc.total_cycles},
+            {"metric": "cpu cycles", "value": cpu.total_cycles},
+            {"metric": "speedup vs cpu", "value":
+                f"{sc.speedup_over(cpu):.2f}x"},
+            {"metric": "su occupancy", "value":
+                f"{100 * self.attribution.detail.get('su_occupancy', 0):.1f}%"},
+            {"metric": "trace events", "value": len(self.tracer.events)},
+            {"metric": "trace events dropped", "value": self.tracer.dropped},
+        ]
+
+    def counter_rows(self, top: int = 24) -> list[dict]:
+        """The ``top`` largest flat counters (full set in ``--json``)."""
+        flat = sorted(self.counters.flat().items(),
+                      key=lambda kv: -abs(kv[1]))
+        rows = [{"counter": k, "value": v} for k, v in flat[:top]]
+        hidden = len(flat) - len(rows)
+        if hidden > 0:
+            rows.append({"counter": f"... {hidden} more (see --json)",
+                         "value": ""})
+        return rows
+
+    def render(self, top_counters: int = 24) -> str:
+        from repro.eval.reporting import render
+
+        parts = [
+            render(self.summary_rows(), f"profile: {self.workload}"),
+            render(self.attribution.rows(),
+                   "cycle attribution (sparsecore)"),
+            render(self.counter_rows(top_counters), "counters"),
+        ]
+        return "\n\n".join(parts)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self, *, include_trace_events: bool = False) -> dict:
+        """Machine-readable profile; the stable ``--json`` payload."""
+        data = {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "workload": self.workload,
+            "family": self.family,
+            "result": self.result,
+            "counters": self.counters.flat(),
+            "attribution": self.attribution.to_json(),
+            "reports": {
+                "cpu": {
+                    "total_cycles": self.cpu_report.total_cycles,
+                    "breakdown": self.cpu_report.breakdown(),
+                },
+                "sparsecore": {
+                    "total_cycles": self.sc_report.total_cycles,
+                    "breakdown": self.sc_report.breakdown(),
+                },
+            },
+            "speedup_vs_cpu": self.sc_report.speedup_over(self.cpu_report),
+            "trace": {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+                "schema": "chrome-trace-event",
+            },
+        }
+        if include_trace_events:
+            data["trace"]["chrome"] = self.chrome_trace
+        return to_jsonable(data)
+
+
+def profile_workload(name: str, args: ProfileArgs | None = None,
+                     *, check: bool = True) -> ProfileResult:
+    """Run one workload under a probe and assemble its profile.
+
+    With ``check=True`` (the default, and what the CLI and CI use) the
+    attribution is asserted to sum to the model total and the exported
+    Chrome trace is validated against the documented schema — both
+    raise on violation rather than report quietly.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}")
+    spec = WORKLOADS[name]
+    args = args or ProfileArgs()
+    probe = Probe.collecting(max_events=args.max_events)
+    machine = Machine(name=name, probe=probe)
+    result = spec.runner(machine, args)
+
+    from repro.arch.cpu import CpuModel
+    from repro.arch.sparsecore import SparseCoreModel
+
+    model = SparseCoreModel(machine.config)
+    sc = model.cost(machine.trace, counters=probe.counters)
+    cpu = CpuModel().cost(machine.trace)
+    attr = attribute(machine.trace, model, workload=name)
+    chrome = probe.tracer.to_chrome(process_name=f"sparsecore:{name}",
+                                    thread_names=THREAD_NAMES)
+    if check:
+        attr.check()
+        validate_chrome_trace(chrome)
+    return ProfileResult(
+        workload=name, family=spec.family, result=result,
+        counters=probe.counters, tracer=probe.tracer, attribution=attr,
+        cpu_report=cpu, sc_report=sc, chrome_trace=chrome,
+    )
+
+
+#: The CI smoke pair: one GPM pattern and one SpMSpM kernel.
+SMOKE_WORKLOADS = ("triangle", "spmspm")
+
+
+def smoke(args: ProfileArgs | None = None) -> list[ProfileResult]:
+    """Profile the smoke pair with all checks on; raises on violation."""
+    return [profile_workload(name, args, check=True)
+            for name in SMOKE_WORKLOADS]
+
+
+def write_chrome_trace(result: ProfileResult, path) -> None:
+    """Dump the (already validated) Chrome trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(result.chrome_trace, fh, indent=1)
+
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION", "ProfileArgs", "ProfileResult",
+    "SMOKE_WORKLOADS", "THREAD_NAMES", "WORKLOADS", "WorkloadSpec",
+    "profile_workload", "smoke", "workload_names", "write_chrome_trace",
+]

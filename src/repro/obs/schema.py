@@ -1,0 +1,107 @@
+"""Validation of the emitted observability JSON.
+
+Two concerns live here:
+
+* :func:`validate_chrome_trace` — a structural check of the Chrome
+  trace-event JSON the tracer exports.  The accepted subset (documented
+  in ``docs/observability.md``) is exactly what
+  :meth:`repro.obs.tracer.Tracer.to_chrome` produces; the validator is
+  the standing contract between the tracer and any consumer (Perfetto,
+  the CI smoke check, downstream tooling).
+* :func:`to_jsonable` — a lossless-enough converter from the numpy/
+  dataclass-rich objects the models produce to plain JSON types, shared
+  by ``profile --json`` and ``difftest --json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+#: Event phases the tracer emits: complete spans, instants, metadata.
+_ALLOWED_PHASES = {"X", "i", "M"}
+
+
+class TraceSchemaError(ValueError):
+    """The object does not conform to the documented trace schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise TraceSchemaError(f"{path}: {message}")
+
+
+def validate_chrome_trace(data: Any) -> int:
+    """Validate a Chrome trace-event JSON object; returns the event count.
+
+    Raises :class:`TraceSchemaError` on the first violation, naming the
+    offending event index and field.
+    """
+    if not isinstance(data, dict):
+        _fail("$", f"top level must be an object, got {type(data).__name__}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        _fail("$.traceEvents", "missing or not a list")
+    if "displayTimeUnit" in data and data["displayTimeUnit"] not in (
+            "ms", "ns"):
+        _fail("$.displayTimeUnit", f"must be 'ms' or 'ns', "
+                                   f"got {data['displayTimeUnit']!r}")
+    for index, event in enumerate(events):
+        path = f"$.traceEvents[{index}]"
+        if not isinstance(event, dict):
+            _fail(path, "event must be an object")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            _fail(path + ".name", "missing or empty")
+        ph = event.get("ph")
+        if ph not in _ALLOWED_PHASES:
+            _fail(path + ".ph", f"must be one of {sorted(_ALLOWED_PHASES)}, "
+                                f"got {ph!r}")
+        if not isinstance(event.get("pid"), int):
+            _fail(path + ".pid", "missing or not an integer")
+        if not isinstance(event.get("tid"), int):
+            _fail(path + ".tid", "missing or not an integer")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                _fail(path + ".ts", "missing, non-numeric or negative")
+            if not isinstance(event.get("cat"), str):
+                _fail(path + ".cat", "missing or not a string")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(path + ".dur", "missing, non-numeric or negative")
+        if "args" in event and not isinstance(event["args"], dict):
+            _fail(path + ".args", "must be an object when present")
+    return len(events)
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert to plain JSON types (dict/list/str/num/bool).
+
+    Handles numpy scalars and arrays, dataclasses, sets/tuples, and
+    falls back to ``repr`` for anything exotic — serialization must
+    never be the thing that crashes a report.
+    """
+    import numpy as np
+
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if obj == obj and obj not in (float("inf"),
+                                                 float("-inf")) \
+            else repr(obj)
+    if isinstance(obj, np.generic):
+        return to_jsonable(obj.item())
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    return repr(obj)
+
+
+__all__ = ["TraceSchemaError", "validate_chrome_trace", "to_jsonable"]

@@ -1,0 +1,156 @@
+"""Structured event tracer with Chrome trace-event export.
+
+The recording machine emits **spans** (stream-op execution, memory
+stalls, bursts) and **instants** (stream fetches) on a model-cycle time
+axis.  :meth:`Tracer.to_chrome` serializes them in the Chrome
+trace-event format (the ``traceEvents`` JSON that Perfetto and
+``chrome://tracing`` load directly); :meth:`Tracer.timeline` renders a
+plain-text timeline for terminals.
+
+Timestamps are **model cycles**, written into the format's ``ts``/
+``dur`` microsecond fields verbatim (1 cycle = 1 µs on the viewer's
+axis).  The exact schema is documented in ``docs/observability.md`` and
+enforced by :func:`repro.obs.schema.validate_chrome_trace`.
+
+A single GPM run can record millions of operations, so the tracer caps
+retained events (``max_events``) and counts the overflow in
+``dropped`` instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a span (``ph="X"``) or instant (``ph="i"``)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    tid: int = 0
+    args: dict = field(default_factory=dict)
+
+
+class NullTracer:
+    """Zero-overhead sink: records nothing."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name, cat, ts, dur, tid=0, **args) -> None:
+        pass
+
+    def instant(self, name, cat, ts, tid=0, **args) -> None:
+        pass
+
+    @property
+    def events(self) -> list:
+        return []
+
+    dropped = 0
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Event recorder on a model-cycle time axis."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str, ts: float, dur: float,
+             tid: int = 0, **args) -> None:
+        """Record a complete span ``[ts, ts + dur]``."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(name, cat, "X", float(ts),
+                                      max(0.0, float(dur)), tid, args))
+
+    def instant(self, name: str, cat: str, ts: float,
+                tid: int = 0, **args) -> None:
+        """Record a zero-duration instant event at ``ts``."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(name, cat, "i", float(ts),
+                                      0.0, tid, args))
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self, pid: int = 1, process_name: str = "sparsecore",
+                  thread_names: dict[int, str] | None = None) -> dict:
+        """Serialize as a Chrome trace-event JSON object.
+
+        Returns the top-level dict (``{"traceEvents": [...], ...}``);
+        dump it with ``json.dump`` and open the file in Perfetto
+        (https://ui.perfetto.dev) or ``chrome://tracing``.
+        """
+        out: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for tid, tname in sorted((thread_names or {}).items()):
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": tname}})
+        for ev in self.events:
+            record: dict = {
+                "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+                "ts": ev.ts, "pid": pid, "tid": ev.tid,
+            }
+            if ev.ph == "X":
+                record["dur"] = ev.dur
+            if ev.ph == "i":
+                record["s"] = "t"  # thread-scoped instant
+            if ev.args:
+                record["args"] = dict(ev.args)
+            out.append(record)
+        meta = {
+            "traceEvents": out,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "time_unit": "model cycles (1 cycle = 1us on the axis)",
+                "dropped_events": self.dropped,
+            },
+        }
+        return meta
+
+    def timeline(self, max_rows: int = 60) -> str:
+        """Plain-text timeline: one line per event, cycle-ordered."""
+        events = sorted(self.events, key=lambda e: (e.ts, e.tid))
+        lines = [f"{'cycle':>12}  {'+dur':>10}  {'lane':>4}  "
+                 f"{'cat':10}  name"]
+        shown = events if len(events) <= max_rows else events[:max_rows]
+        for ev in shown:
+            dur = f"{ev.dur:.0f}" if ev.ph == "X" else "-"
+            lines.append(f"{ev.ts:>12.0f}  {dur:>10}  {ev.tid:>4}  "
+                         f"{ev.cat:10}  {ev.name}")
+        hidden = len(events) - len(shown)
+        if hidden:
+            lines.append(f"... {hidden} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped at the "
+                         f"{self.max_events}-event cap")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Tracer({len(self.events)} events"
+                + (f", {self.dropped} dropped" if self.dropped else "")
+                + ")")
+
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]

@@ -1,0 +1,102 @@
+"""Attribution property tests: buckets sum to the model total.
+
+Property-checked over difftest-generated cases from all three families
+(random stream programs, GPM instances, tensor contractions), over
+config sweeps (SU count, bandwidth), and over edge cases (empty trace,
+single op).  ``Attribution.check`` raising anywhere here means the
+five-bucket decomposition and the cost model disagree — a cycle-model
+bug, not a reporting nit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SparseCoreConfig
+from repro.arch.sparsecore import SparseCoreModel
+from repro.difftest.backends import run_machine
+from repro.difftest.generator import CaseGenerator, Sizes, derive_seed
+from repro.machine.context import Machine
+from repro.obs.attribution import BUCKETS, AttributionError, attribute
+
+
+def _stream_trace(seed: int) -> Machine:
+    gen = CaseGenerator(Sizes.smoke())
+    machine = Machine(name=f"attr-{seed}")
+    run_machine(gen.stream_case(seed), machine)
+    return machine
+
+
+class TestSumsToTotal:
+    @pytest.mark.parametrize("index", range(20))
+    def test_stream_cases(self, index):
+        machine = _stream_trace(derive_seed(11, "obs-attr", index))
+        attr = attribute(machine.trace).check()
+        model_total = SparseCoreModel().cost(machine.trace).total_cycles
+        assert attr.attributed_cycles == pytest.approx(
+            model_total, rel=1e-9, abs=1e-6)
+
+    @pytest.mark.parametrize("app,graph", [("T", "citeseer"),
+                                           ("TS", "citeseer"),
+                                           ("TC", "citeseer")])
+    def test_gpm_cases(self, app, graph):
+        from repro.gpm.apps import run_app
+        from repro.graph.datasets import load_graph
+
+        run = run_app(app, load_graph(graph, 0.3))
+        attribute(run.trace, workload=app).check()
+
+    @pytest.mark.parametrize("dataflow", ["inner", "outer", "gustavson"])
+    def test_tensor_cases(self, dataflow):
+        from repro.tensor.datasets import load_matrix
+        from repro.tensorops.taco import compile_expression
+
+        machine = Machine(name=f"spmspm-{dataflow}")
+        kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
+        kernel.run(load_matrix("laser"), load_matrix("laser"), machine)
+        attribute(machine.trace, workload=dataflow).check()
+
+    @pytest.mark.parametrize("num_sus", [1, 4, 32])
+    @pytest.mark.parametrize("bandwidth", [4, 128])
+    def test_config_sweep(self, num_sus, bandwidth):
+        machine = _stream_trace(derive_seed(13, "obs-attr-cfg", 0))
+        config = SparseCoreConfig(num_sus=num_sus,
+                                  scache_bandwidth=bandwidth)
+        attribute(machine.trace, SparseCoreModel(config)).check()
+
+
+class TestShape:
+    def test_bucket_names_and_nonnegative(self):
+        machine = _stream_trace(derive_seed(17, "obs-attr", 1))
+        attr = attribute(machine.trace).check()
+        assert tuple(attr.buckets) == BUCKETS
+        assert all(v >= 0 for v in attr.buckets.values())
+
+    def test_fractions_sum_to_one(self):
+        machine = _stream_trace(derive_seed(17, "obs-attr", 2))
+        attr = attribute(machine.trace).check()
+        assert sum(attr.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        machine = Machine(name="empty")
+        attr = attribute(machine.trace).check()
+        assert attr.total_cycles == 0.0
+        assert attr.attributed_cycles == 0.0
+
+    def test_single_op(self):
+        machine = Machine(name="one")
+        machine.intersect(np.arange(0, 40, 2), np.arange(0, 40, 3))
+        attribute(machine.trace).check()
+
+    def test_to_json_is_plain(self):
+        import json
+
+        machine = _stream_trace(derive_seed(17, "obs-attr", 3))
+        payload = attribute(machine.trace).check().to_json()
+        json.dumps(payload)
+
+    def test_check_raises_on_tampered_buckets(self):
+        machine = _stream_trace(derive_seed(17, "obs-attr", 4))
+        attr = attribute(machine.trace)
+        attr.buckets["intersect"] += 1.0
+        with pytest.raises(AttributionError, match="attributed cycles"):
+            attr.check()

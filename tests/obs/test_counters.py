@@ -1,0 +1,105 @@
+"""Tests for the hierarchical counter registry and its null sink."""
+
+import pytest
+
+from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+
+
+class TestCounters:
+    def test_first_increment_creates(self):
+        c = Counters()
+        assert c.get("su.busy_cycles") == 0.0
+        c.inc("su.busy_cycles", 5)
+        assert c.get("su.busy_cycles") == 5
+
+    def test_inc_defaults_to_one(self):
+        c = Counters()
+        c.inc("scache.fills")
+        c.inc("scache.fills")
+        assert c.get("scache.fills") == 2
+
+    def test_add_is_inc(self):
+        c = Counters()
+        c.add("mem.sc.dram_bytes", 64)
+        c.inc("mem.sc.dram_bytes", 64)
+        assert c.get("mem.sc.dram_bytes") == 128
+
+    def test_ints_stay_ints(self):
+        c = Counters()
+        c.inc("ops", 2)
+        c.inc("ops", 3)
+        assert isinstance(c.get("ops"), int)
+
+    def test_subtotal_sums_prefix(self):
+        c = Counters()
+        c.inc("machine.ops.intersect", 3)
+        c.inc("machine.ops.merge", 2)
+        c.inc("machine.opsx", 100)  # not under the dotted prefix
+        assert c.subtotal("machine.ops") == 5
+        assert c.subtotal("machine") == 105
+
+    def test_subtotal_includes_exact_name(self):
+        c = Counters()
+        c.inc("smt.evictions", 4)
+        assert c.subtotal("smt.evictions") == 4
+
+    def test_flat_is_sorted(self):
+        c = Counters()
+        c.inc("b", 1)
+        c.inc("a", 1)
+        assert list(c.flat()) == ["a", "b"]
+
+    def test_tree_nests_by_dots(self):
+        c = Counters()
+        c.inc("scache.slot.0.fills", 1)
+        c.inc("scache.slot.1.fills", 2)
+        c.inc("scache.refills", 7)
+        tree = c.tree()
+        assert tree["scache"]["slot"]["0"]["fills"] == 1
+        assert tree["scache"]["slot"]["1"]["fills"] == 2
+        assert tree["scache"]["refills"] == 7
+
+    def test_tree_leaf_and_prefix(self):
+        c = Counters()
+        c.inc("su", 1)
+        c.inc("su.busy_cycles", 9)
+        tree = c.tree()
+        assert tree["su"][""] == 1
+        assert tree["su"]["busy_cycles"] == 9
+
+    def test_merge_accumulates(self):
+        a, b = Counters(), Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_reset(self):
+        c = Counters()
+        c.inc("x")
+        c.reset()
+        assert len(c) == 0
+        assert c.flat() == {}
+
+
+class TestNullSink:
+    def test_enabled_flags(self):
+        assert Counters.enabled is True
+        assert NullCounters.enabled is False
+        assert NULL_COUNTERS.enabled is False
+
+    def test_null_sink_holds_no_state(self):
+        # __slots__ = (): no per-instance dict, nothing to allocate.
+        with pytest.raises(AttributeError):
+            NULL_COUNTERS.__dict__
+        assert NullCounters.__slots__ == ()
+
+    def test_null_sink_drops_everything(self):
+        NULL_COUNTERS.inc("anything", 10)
+        NULL_COUNTERS.add("anything", 10)
+        assert NULL_COUNTERS.get("anything") == 0.0
+        assert NULL_COUNTERS.subtotal("anything") == 0.0
+        assert NULL_COUNTERS.flat() == {}
+        assert NULL_COUNTERS.tree() == {}

@@ -1,0 +1,73 @@
+"""Probe parity: observing a run must not change what it computes.
+
+The same workload is executed twice — once on a bare machine (null
+sinks) and once under a collecting probe — and the functional results
+and the recorded cost traces must be identical.  The null-sink path is
+additionally checked to hold no per-instance state at all.
+"""
+
+import numpy as np
+
+from repro.difftest.generator import CaseGenerator, Sizes, derive_seed
+from repro.difftest.backends import run_machine
+from repro.machine.context import Machine
+from repro.obs.counters import NULL_COUNTERS
+from repro.obs.probe import NULL_PROBE, Probe
+
+
+def _frozen_arrays(machine: Machine) -> dict[str, np.ndarray]:
+    t = machine.trace.freeze()
+    return {name: getattr(t, name)
+            for name in ("kind", "su_cycles", "eff_elems", "out_len",
+                         "flop_pairs", "burst", "nested", "cpu_mem",
+                         "sc_mem")}
+
+
+class TestParity:
+    def test_stream_cases_agree(self):
+        gen = CaseGenerator(Sizes.smoke())
+        for index in range(12):
+            seed = derive_seed(99, "obs-parity", index)
+            case = gen.stream_case(seed)
+            bare = Machine(name="bare")
+            probed = Machine(name="probed", probe=Probe.collecting())
+            res_bare = run_machine(case, bare)
+            res_probed = run_machine(case, probed)
+            assert res_bare == res_probed
+            for name, arr in _frozen_arrays(bare).items():
+                np.testing.assert_array_equal(
+                    arr, _frozen_arrays(probed)[name], err_msg=name)
+
+    def test_probed_machine_counts_every_op(self):
+        gen = CaseGenerator(Sizes.smoke())
+        case = gen.stream_case(derive_seed(7, "obs-parity", 0))
+        probe = Probe.collecting()
+        machine = Machine(name="probed", probe=probe)
+        run_machine(case, machine)
+        counted = probe.counters.subtotal("machine.ops") \
+            - probe.counters.get("machine.ops.nested")
+        assert counted == machine.trace.num_ops
+
+    def test_models_agree_with_and_without_counters(self):
+        from repro.arch.sparsecore import SparseCoreModel
+        from repro.obs.counters import Counters
+
+        gen = CaseGenerator(Sizes.smoke())
+        case = gen.stream_case(derive_seed(3, "obs-parity", 1))
+        machine = Machine(name="m")
+        run_machine(case, machine)
+        model = SparseCoreModel()
+        silent = model.cost(machine.trace)
+        counted = model.cost(machine.trace, counters=Counters())
+        assert silent.total_cycles == counted.total_cycles
+        assert silent.breakdown() == counted.breakdown()
+
+    def test_default_machine_uses_null_sinks(self):
+        machine = Machine(name="m")
+        assert machine.obs is NULL_PROBE
+        assert machine.obs.counters is NULL_COUNTERS
+        assert machine.obs.enabled is False
+        machine.intersect([1, 2, 3], [2, 3, 4])
+        # Nothing was retained anywhere.
+        assert machine.obs.counters.flat() == {}
+        assert machine.obs.tracer.events == []

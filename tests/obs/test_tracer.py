@@ -1,0 +1,122 @@
+"""Tests for the event tracer and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import TraceSchemaError, validate_chrome_trace
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _sample() -> Tracer:
+    t = Tracer()
+    t.span("intersect", "su", 0, 12, tid=0, burst=3)
+    t.span("stall", "stall", 12, 40, tid=1)
+    t.instant("fetch edges", "fetch", 5, tid=1, bytes=256)
+    return t
+
+
+class TestRecording:
+    def test_span_and_instant(self):
+        t = _sample()
+        assert len(t.events) == 3
+        spans = [e for e in t.events if e.ph == "X"]
+        instants = [e for e in t.events if e.ph == "i"]
+        assert len(spans) == 2 and len(instants) == 1
+        assert spans[0].dur == 12
+        assert instants[0].args == {"bytes": 256}
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.span("x", "su", 0, -5)
+        assert t.events[0].dur == 0.0
+
+    def test_overflow_counts_dropped(self):
+        t = Tracer(max_events=2)
+        for i in range(5):
+            t.span(f"op{i}", "su", i, 1)
+        assert len(t.events) == 2
+        assert t.dropped == 3
+
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.span("x", "su", 0, 1)
+        NULL_TRACER.instant("y", "fetch", 0)
+        assert NULL_TRACER.events == []
+        assert NULL_TRACER.enabled is False
+        with pytest.raises(AttributeError):
+            NULL_TRACER.__dict__
+
+
+class TestChromeExport:
+    def test_validates_and_serializes(self):
+        data = _sample().to_chrome(thread_names={0: "su", 1: "mem"})
+        assert validate_chrome_trace(data) == 3 + 3  # events + metadata
+        json.dumps(data)  # round-trips through the json module
+
+    def test_metadata_events(self):
+        data = _sample().to_chrome(process_name="p",
+                                   thread_names={0: "su"})
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "p") in names
+        assert ("thread_name", "su") in names
+
+    def test_instants_are_thread_scoped(self):
+        data = _sample().to_chrome()
+        instant = [e for e in data["traceEvents"] if e["ph"] == "i"][0]
+        assert instant["s"] == "t"
+
+    def test_dropped_reported_in_other_data(self):
+        t = Tracer(max_events=1)
+        t.span("a", "su", 0, 1)
+        t.span("b", "su", 1, 1)
+        data = t.to_chrome()
+        assert data["otherData"]["dropped_events"] == 1
+
+
+class TestTimeline:
+    def test_rows_are_cycle_ordered(self):
+        text = _sample().timeline()
+        lines = text.splitlines()
+        assert "intersect" in text and "fetch edges" in text
+        assert lines[1].strip().startswith("0")  # earliest event first
+
+    def test_row_cap(self):
+        t = Tracer()
+        for i in range(10):
+            t.span(f"op{i}", "su", i, 1)
+        text = t.timeline(max_rows=4)
+        assert "... 6 more events" in text
+
+
+class TestSchemaRejections:
+    def test_top_level_must_be_object(self):
+        with pytest.raises(TraceSchemaError, match=r"\$:"):
+            validate_chrome_trace([1, 2])
+
+    def test_trace_events_required(self):
+        with pytest.raises(TraceSchemaError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(TraceSchemaError, match=r"\.ph"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "Q", "pid": 1, "tid": 0}]})
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceSchemaError, match=r"\.ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "cat": "su", "ph": "X", "ts": -1,
+                 "dur": 1, "pid": 1, "tid": 0}]})
+
+    def test_span_needs_duration(self):
+        with pytest.raises(TraceSchemaError, match=r"\.dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "cat": "su", "ph": "X", "ts": 0,
+                 "pid": 1, "tid": 0}]})
+
+    def test_missing_pid_rejected(self):
+        with pytest.raises(TraceSchemaError, match=r"\.pid"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "cat": "su", "ph": "i", "ts": 0,
+                 "tid": 0}]})
