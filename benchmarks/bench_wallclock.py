@@ -1,0 +1,192 @@
+"""Harness wall-clock baseline: engine + run-cache throughput.
+
+Runs the figure-suite job list three ways — cold serial, cold parallel,
+and warm (persistent cache populated) — asserts all three produce
+bit-identical metrics, and records stream-ops/sec and runs/sec for each
+mode in ``BENCH_wallclock.json`` at the repository root so harness
+performance can be diffed across commits.
+
+Modelled *cycles* never change between modes (that is asserted); what
+this benchmark tracks is how fast the pure-Python harness itself
+produces them.
+
+Run directly (CI uses ``--smoke``)::
+
+    python benchmarks/bench_wallclock.py [--smoke] [--jobs N] [--scale S]
+
+or via ``pytest benchmarks/bench_wallclock.py`` for the smoke variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Ratios the full benchmark asserts (ISSUE 4 acceptance criteria).
+WARM_MIN_SPEEDUP = 3.0
+PARALLEL_MIN_SPEEDUP = 1.5
+
+
+def _canon(x):
+    """Metrics dicts with numpy leaves -> comparable plain structures."""
+    if isinstance(x, dict):
+        return {k: _canon(v) for k, v in x.items()}
+    if isinstance(x, (list, tuple)):
+        return [_canon(v) for v in x]
+    if isinstance(x, np.ndarray):
+        return x.tolist()
+    if isinstance(x, np.generic):
+        return x.item()
+    return x
+
+
+def _timed_run(jobs, *, workers: int, cache_dir) -> tuple[float, dict]:
+    from repro.perf.engine import run_jobs
+
+    start = time.perf_counter()
+    results = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+    return time.perf_counter() - start, results
+
+
+def run_phases(*, smoke: bool, workers: int, scale: float) -> dict:
+    """Cold-serial / cold-parallel / warm-serial over one job list."""
+    from repro.perf.engine import figure_suite_jobs, job_key
+
+    jobs = figure_suite_jobs(scale, smoke=smoke)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        root = pathlib.Path(tmp)
+        cold_serial_s, serial = _timed_run(
+            jobs, workers=1, cache_dir=root / "serial")
+        cold_parallel_s, parallel = _timed_run(
+            jobs, workers=workers, cache_dir=root / "parallel")
+        # Warm: the serial cache dir already holds every trace.
+        warm_serial_s, warm = _timed_run(
+            jobs, workers=1, cache_dir=root / "serial")
+
+    if not (_canon(serial) == _canon(parallel) == _canon(warm)):
+        raise AssertionError(
+            "metrics differ between serial / parallel / warm runs")
+
+    stream_ops = sum(m["num_ops"] for m in serial.values())
+    n_runs = len(serial)
+    report = {
+        "schema_version": 1,
+        "mode": "smoke" if smoke else "full",
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {
+            "workers": workers,
+            "scale": scale,
+            "runs": n_runs,
+            "stream_ops": stream_ops,
+            "jobs": sorted(job_key(j) for j in jobs),
+        },
+        "timings_s": {
+            "cold_serial": round(cold_serial_s, 3),
+            "cold_parallel": round(cold_parallel_s, 3),
+            "warm_serial": round(warm_serial_s, 3),
+        },
+        "throughput": {
+            "stream_ops_per_s_cold": round(stream_ops / cold_serial_s, 1),
+            "stream_ops_per_s_warm": round(stream_ops / warm_serial_s, 1),
+            "runs_per_s_cold": round(n_runs / cold_serial_s, 3),
+            "runs_per_s_warm": round(n_runs / warm_serial_s, 3),
+        },
+        "speedups": {
+            "warm_over_cold_serial": round(cold_serial_s / warm_serial_s, 2),
+            "parallel_over_cold_serial":
+                round(cold_serial_s / cold_parallel_s, 2),
+        },
+        "bit_identical": True,
+    }
+    return report
+
+
+def check_ratios(report: dict) -> list[str]:
+    """Acceptance-ratio failures (empty when everything holds).
+
+    The parallel ratio is only meaningful with real cores to spread
+    over — on a single-CPU machine process fan-out adds overhead by
+    construction, so that check is gated on ``cpu_count``.
+    """
+    failures = []
+    speedups = report["speedups"]
+    if report["mode"] == "full" \
+            and speedups["warm_over_cold_serial"] < WARM_MIN_SPEEDUP:
+        failures.append(
+            f"warm run only {speedups['warm_over_cold_serial']}x faster "
+            f"than cold serial (need >= {WARM_MIN_SPEEDUP}x)")
+    if report["machine"]["cpu_count"] >= 2 \
+            and speedups["parallel_over_cold_serial"] < PARALLEL_MIN_SPEEDUP:
+        failures.append(
+            f"parallel run only {speedups['parallel_over_cold_serial']}x "
+            f"faster than cold serial on "
+            f"{report['machine']['cpu_count']} CPUs "
+            f"(need >= {PARALLEL_MIN_SPEEDUP}x)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny job list; bit-identity checks only")
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, max(2, os.cpu_count() or 1)),
+                        help="workers for the parallel phase")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="figure-suite scale factor")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here instead of "
+                             "BENCH_wallclock.json (full mode only)")
+    args = parser.parse_args(argv)
+
+    report = run_phases(smoke=args.smoke, workers=args.jobs,
+                        scale=args.scale)
+    print(json.dumps(report, indent=2))
+
+    failures = check_ratios(report)
+    for failure in failures:
+        print(f"RATIO CHECK FAILED: {failure}", file=sys.stderr)
+
+    if not args.smoke:
+        out = pathlib.Path(args.out) if args.out \
+            else REPO_ROOT / "BENCH_wallclock.json"
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        try:
+            from conftest import write_result
+
+            rows = [{"phase": k, "seconds": v}
+                    for k, v in report["timings_s"].items()]
+            from repro.eval.reporting import render
+
+            write_result("wallclock", render(rows, "harness wall-clock"),
+                         rows)
+        except ImportError:
+            pass
+        print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+def test_wallclock_smoke(once):
+    """Pytest entry: smoke phases must agree bit-exactly."""
+    report = once(lambda: run_phases(smoke=True, workers=2, scale=1.0))
+    assert report["bit_identical"]
+    assert report["config"]["runs"] >= 4
+    assert report["timings_s"]["warm_serial"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,21 +50,24 @@ class Trace:
     Use :meth:`add_op` per stream operation and :meth:`add_scalar` /
     :meth:`add_cpu_scalar` / :meth:`add_sc_scalar` for surrounding
     scalar work, then :meth:`freeze` before handing to cost models.
+
+    Recording is the hottest path of the whole harness (one call per
+    stream operation, millions per run), so ops are stored as a single
+    list of per-op row tuples — one pre-bound ``append`` per op instead
+    of eleven column appends — and decomposed into columnar numpy
+    arrays once, at :meth:`freeze` time.
     """
+
+    __slots__ = ("name", "_rows", "_append_row",
+                 "shared_scalar_instrs", "cpu_only_scalar_instrs",
+                 "sc_only_scalar_instrs", "_next_burst", "_frozen")
 
     def __init__(self, name: str = "trace"):
         self.name = name
-        self._kind: list[int] = []
-        self._su_cycles: list[int] = []
-        self._cpu_steps: list[int] = []
-        self._dir_changes: list[int] = []
-        self._eff_elems: list[int] = []
-        self._out_len: list[int] = []
-        self._flop_pairs: list[int] = []
-        self._burst: list[int] = []
-        self._nested: list[bool] = []
-        self._cpu_mem: list[float] = []
-        self._sc_mem: list[float] = []
+        #: one tuple per op: (kind, su_cycles, cpu_steps, dir_changes,
+        #: eff_elems, out_len, flop_pairs, burst, nested, cpu_mem, sc_mem)
+        self._rows: list[tuple] = []
+        self._append_row = self._rows.append
         #: scalar instructions charged identically on both machines
         self.shared_scalar_instrs = 0
         #: scalar loop-management work only the CPU executes
@@ -93,21 +96,22 @@ class Trace:
         flop_pairs: int = 0,
     ) -> None:
         self._frozen = None
-        self._kind.append(int(kind))
-        self._su_cycles.append(su_cycles_for(kind, stats))
-        self._cpu_steps.append(stats.cpu_steps)
-        self._dir_changes.append(stats.direction_changes)
-        self._eff_elems.append(stats.eff_a + stats.eff_b)
-        self._out_len.append(stats.out_len(
-            "intersect" if kind in (OpKind.INTERSECT, OpKind.VINTER)
-            else "subtract" if kind is OpKind.SUBTRACT
-            else "merge"
-        ))
-        self._flop_pairs.append(flop_pairs)
-        self._burst.append(burst)
-        self._nested.append(nested)
-        self._cpu_mem.append(cpu_mem)
-        self._sc_mem.append(sc_mem)
+        k = int(kind)
+        # Inlined kind dispatch (cf. su_cycles_for / OpStats.out_len):
+        # INTERSECT/VINTER emit one match per cycle, SUBTRACT/MERGE/
+        # VMERGE run at window rate.
+        if k == 0 or k == 3:  # INTERSECT, VINTER
+            su = stats.su_cycles_intersect
+            out_len = stats.n_matches
+        elif k == 1:  # SUBTRACT
+            su = stats.su_cycles_submerge
+            out_len = stats.eff_a - stats.n_matches
+        else:  # MERGE, VMERGE
+            su = stats.su_cycles_submerge
+            out_len = stats.n_union
+        self._append_row((k, su, stats.cpu_steps, stats.direction_changes,
+                          stats.eff_a + stats.eff_b, out_len, flop_pairs,
+                          burst, nested, cpu_mem, sc_mem))
 
     def add_scalar(self, n: int) -> None:
         """Scalar instructions both machines execute (app logic)."""
@@ -125,24 +129,30 @@ class Trace:
 
     @property
     def num_ops(self) -> int:
-        return len(self._kind)
+        return len(self._rows)
 
     def freeze(self) -> "FrozenTrace":
         """Snapshot into numpy arrays for the cost models (cached)."""
         if self._frozen is None:
+            if self._rows:
+                cols = tuple(zip(*self._rows))
+            else:
+                cols = ((),) * 11
+            (kind, su_cycles, cpu_steps, dir_changes, eff_elems, out_len,
+             flop_pairs, burst, nested, cpu_mem, sc_mem) = cols
             self._frozen = FrozenTrace(
                 name=self.name,
-                kind=np.asarray(self._kind, dtype=np.int8),
-                su_cycles=np.asarray(self._su_cycles, dtype=np.int64),
-                cpu_steps=np.asarray(self._cpu_steps, dtype=np.int64),
-                dir_changes=np.asarray(self._dir_changes, dtype=np.int64),
-                eff_elems=np.asarray(self._eff_elems, dtype=np.int64),
-                out_len=np.asarray(self._out_len, dtype=np.int64),
-                flop_pairs=np.asarray(self._flop_pairs, dtype=np.int64),
-                burst=np.asarray(self._burst, dtype=np.int64),
-                nested=np.asarray(self._nested, dtype=bool),
-                cpu_mem=np.asarray(self._cpu_mem, dtype=np.float64),
-                sc_mem=np.asarray(self._sc_mem, dtype=np.float64),
+                kind=np.asarray(kind, dtype=np.int8),
+                su_cycles=np.asarray(su_cycles, dtype=np.int64),
+                cpu_steps=np.asarray(cpu_steps, dtype=np.int64),
+                dir_changes=np.asarray(dir_changes, dtype=np.int64),
+                eff_elems=np.asarray(eff_elems, dtype=np.int64),
+                out_len=np.asarray(out_len, dtype=np.int64),
+                flop_pairs=np.asarray(flop_pairs, dtype=np.int64),
+                burst=np.asarray(burst, dtype=np.int64),
+                nested=np.asarray(nested, dtype=bool),
+                cpu_mem=np.asarray(cpu_mem, dtype=np.float64),
+                sc_mem=np.asarray(sc_mem, dtype=np.float64),
                 shared_scalar_instrs=self.shared_scalar_instrs,
                 cpu_only_scalar_instrs=self.cpu_only_scalar_instrs,
                 sc_only_scalar_instrs=self.sc_only_scalar_instrs,
@@ -188,13 +198,19 @@ class FrozenTrace:
     def num_ops(self) -> int:
         return int(self.kind.size)
 
-    def save(self, path) -> None:
-        """Persist to ``.npz`` for offline analysis or re-pricing."""
+    def save(self, path, **extra_arrays) -> None:
+        """Persist to ``.npz`` for offline analysis or re-pricing.
+
+        ``extra_arrays`` ride along in the same archive (e.g. the run
+        cache stores the Figure 14 length samples next to the trace);
+        :meth:`load` ignores them.
+        """
         arrays = {field: getattr(self, field) for field in _ARRAY_FIELDS}
         arrays["scalars"] = np.array(
             [getattr(self, field) for field in _SCALAR_FIELDS],
             dtype=np.int64)
-        np.savez_compressed(path, name=np.array(self.name), **arrays)
+        np.savez_compressed(path, name=np.array(self.name), **arrays,
+                            **extra_arrays)
 
     @classmethod
     def load(cls, path) -> "FrozenTrace":

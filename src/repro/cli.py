@@ -19,12 +19,19 @@ Commands:
     executor, plus the GPM and tensor stacks) and check cycle-model
     invariants.  ``--self-check`` proves the harness catches a planted
     off-by-one.  ``--json`` emits the machine-readable report.
-``profile <workload> [--json] [--trace FILE] [--timeline] [--smoke]``
-    Run one GPM pattern or tensor kernel under the observability probe:
+``profile <workload...> [--jobs N] [--json] [--trace FILE] [--timeline]``
+    Run GPM patterns or tensor kernels under the observability probe:
     hierarchical performance counters, five-bucket cycle attribution
-    (checked against the cost model's total), and a Chrome trace-event
-    export loadable in Perfetto (``--trace``).  ``--smoke`` profiles the
-    CI pair (triangle + spmspm) with all checks enforced.
+    (checked against the cost model's total), harness wall-clock, and a
+    Chrome trace-event export loadable in Perfetto (``--trace``).
+    Several workloads fan out over ``--jobs`` worker processes;
+    ``--smoke`` profiles the CI pair (triangle + spmspm) with all
+    checks enforced.
+``cache <stats|prewarm|clear> [--dir D] [--jobs N] [--scale S]``
+    Manage the persistent run cache (recorded traces, content-addressed
+    by workload + dataset generator parameters).  ``prewarm`` records
+    every run behind the figure suite so subsequent figure/table
+    commands only re-price cached traces.
 """
 
 from __future__ import annotations
@@ -213,6 +220,7 @@ def _cmd_profile(args) -> int:
 
     from repro.obs.profile import (
         ProfileArgs,
+        profile_many,
         profile_workload,
         smoke,
         workload_names,
@@ -233,10 +241,11 @@ def _cmd_profile(args) -> int:
                   f"attribution ok ({result.attribution.attributed_cycles:.6g}"
                   f" == {sc.total_cycles:.6g} cycles), "
                   f"trace schema ok ({len(result.tracer.events)} events), "
-                  f"speedup {sc.speedup_over(cpu):.2f}x")
+                  f"speedup {sc.speedup_over(cpu):.2f}x, "
+                  f"wall {result.wall_seconds:.3f}s")
         return 0
 
-    if args.workload is None:
+    if not args.workload:
         print("available workloads:")
         from repro.obs.profile import WORKLOADS
 
@@ -244,12 +253,33 @@ def _cmd_profile(args) -> int:
             print(f"  {spec.name:16s} [{spec.family}]  {spec.description}")
         return 0
 
-    if args.workload not in workload_names():
-        print(f"unknown workload {args.workload!r}; "
+    unknown = [w for w in args.workload if w not in workload_names()]
+    if unknown:
+        print(f"unknown workload {unknown[0]!r}; "
               f"known: {', '.join(workload_names())}")
         return 2
 
-    result = profile_workload(args.workload, pargs)
+    if len(args.workload) > 1:
+        # Multi-workload mode: fan out over --jobs worker processes and
+        # print the cross-workload comparison (model cycles + the
+        # harness wall-clock each profile cost).
+        payloads = profile_many(args.workload, pargs, jobs=args.jobs)
+        if args.json:
+            print(json.dumps(payloads, indent=2))
+            return 0
+        from repro.eval.reporting import render
+
+        rows = [{
+            "workload": p["workload"],
+            "sc_cycles": p["reports"]["sparsecore"]["total_cycles"],
+            "cpu_cycles": p["reports"]["cpu"]["total_cycles"],
+            "speedup": f"{p['speedup_vs_cpu']:.2f}x",
+            "wall_s": f"{p['wall_seconds']:.3f}",
+        } for p in payloads]
+        print(render(rows, f"profiles ({args.jobs} job(s))"))
+        return 0
+
+    result = profile_workload(args.workload[0], pargs)
     if args.trace:
         write_chrome_trace(result, args.trace)
     if args.json:
@@ -262,6 +292,50 @@ def _cmd_profile(args) -> int:
         if args.trace:
             print(f"\nchrome trace written to {args.trace} "
                   f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import time
+
+    from repro.eval.reporting import render
+    from repro.perf.cache import RunCache, default_run_cache
+    from repro.perf.engine import figure_suite_jobs, run_jobs
+
+    cache = RunCache(args.dir) if args.dir else default_run_cache()
+    if cache is None:
+        print("run cache disabled (REPRO_RUN_CACHE=0); "
+              "pass --dir to address one explicitly")
+        return 2
+
+    if args.action == "stats":
+        stats = cache.stats()
+        rows = [{"stat": k, "value": v} for k, v in stats.items()]
+        print(render(rows, "run cache"))
+        entries = cache.entries()
+        if entries and args.verbose:
+            print()
+            print(render(
+                [{"key": e.get("key", "?"), "kind": e.get("kind", "?"),
+                  "ops": e.get("num_ops", 0)} for e in entries],
+                "entries"))
+        return 0
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached run(s) from {cache.root}")
+        return 0
+
+    # prewarm: record (or refresh) every run behind the figure suite.
+    jobs = figure_suite_jobs(args.scale, smoke=args.smoke)
+    start = time.perf_counter()
+    results = run_jobs(jobs, workers=args.jobs, cache_dir=cache.root)
+    wall = time.perf_counter() - start
+    stats = cache.stats()
+    print(f"prewarmed {len(results)} run(s) in {wall:.1f}s "
+          f"({args.jobs} worker(s)); cache now holds "
+          f"{stats['entries']} entries / {stats['bytes'] / 1e6:.1f} MB "
+          f"at {stats['root']}")
     return 0
 
 
@@ -321,9 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser(
         "profile", help="profile a workload with counters/trace/attribution")
-    profile.add_argument("workload", nargs="?", default=None,
-                         help="GPM pattern or tensor kernel "
-                              "(run without arguments for the list)")
+    profile.add_argument("workload", nargs="*", default=[],
+                         help="GPM patterns or tensor kernels "
+                              "(run without arguments for the list; "
+                              "several names fan out over --jobs)")
+    profile.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for multi-workload runs")
     profile.add_argument("--graph", default="citeseer",
                          help="graph dataset for GPM workloads")
     profile.add_argument("--matrix", default="laser",
@@ -343,6 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--smoke", action="store_true",
                          help="profile the CI pair (triangle + spmspm) "
                               "with attribution/schema checks enforced")
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent run cache")
+    cache.add_argument("action", choices=["stats", "prewarm", "clear"])
+    cache.add_argument("--dir", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-sparsecore/runs)")
+    cache.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for prewarm")
+    cache.add_argument("--scale", type=float, default=1.0,
+                       help="figure-suite scale for prewarm")
+    cache.add_argument("--smoke", action="store_true",
+                       help="prewarm a small representative job set")
+    cache.add_argument("--verbose", action="store_true",
+                       help="list individual entries under stats")
     return parser
 
 
@@ -355,6 +447,7 @@ _COMMANDS = {
     "spmspm": _cmd_spmspm,
     "difftest": _cmd_difftest,
     "profile": _cmd_profile,
+    "cache": _cmd_cache,
 }
 
 

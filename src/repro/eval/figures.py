@@ -12,13 +12,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.eval.reporting import gmean
-from repro.eval.runs import BW_SWEEP, SU_SWEEP, gpm_metrics
-from repro.machine.context import Machine
-from repro.tensor.datasets import (
-    MATRIX_FIGURE_ORDER,
-    load_matrix,
-    load_tensor,
+from repro.eval.runs import (
+    BW_SWEEP,
+    SU_SWEEP,
+    gpm_metrics,
+    spmspm_metrics,
+    tensor_metrics,
 )
+from repro.machine.context import Machine
+from repro.tensor.datasets import MATRIX_FIGURE_ORDER
 
 #: Figure 7 workloads (vs FlexMiner / TrieJax / GRAMER).
 FIG7_APPS = ("TC", "TM", "TT", "T", "4C", "5C")
@@ -295,59 +297,27 @@ def _length_row(row: dict, lengths: np.ndarray) -> dict:
 
 def fig15_matrix_rows(matrices=tuple(MATRIX_FIGURE_ORDER),
                       dataflows=("inner", "outer", "gustavson")) -> list[dict]:
-    from repro.arch.cpu import CpuModel
-    from repro.arch.sparsecore import SparseCoreModel
-    from repro.tensorops.taco import compile_expression
-
     rows = []
     for code in matrices:
-        mat = load_matrix(code)
         for dataflow in dataflows:
-            machine = Machine(name=f"spmspm-{dataflow}")
-            kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
-            kernel.run(mat, mat, machine)
-            cpu = CpuModel().cost(machine.trace)
-            sc = SparseCoreModel().cost(machine.trace)
+            m = spmspm_metrics(code, dataflow)
             rows.append({
                 "matrix": code,
                 "dataflow": dataflow,
-                "speedup": sc.speedup_over(cpu),
-                "cpu_cycles": cpu.total_cycles,
-                "sc_cycles": sc.total_cycles,
+                "speedup": m["speedup_vs_cpu"],
+                "cpu_cycles": m["cpu_cycles"],
+                "sc_cycles": m["sc_cycles"],
             })
     return rows
 
 
 def fig15_tensor_rows(tensors=("Ch", "U")) -> list[dict]:
-    from repro.arch.cpu import CpuModel
-    from repro.arch.sparsecore import SparseCoreModel
-    from repro.tensorops.taco import compile_expression
-
     rows = []
     for code in tensors:
-        tensor = load_tensor(code)
-        rng = np.random.default_rng(7)
-        # TTV: contract with a dense vector.
-        machine = Machine(name="ttv")
-        compile_expression("Z(i,j) = A(i,j,k) * B(k)").run(
-            tensor, rng.random(tensor.shape[2]), machine)
-        cpu = CpuModel().cost(machine.trace)
-        sc = SparseCoreModel().cost(machine.trace)
-        rows.append({"tensor": code, "kernel": "TTV",
-                     "speedup": sc.speedup_over(cpu)})
-        # TTM: contract with a sparse matrix.
-        from repro.tensor.matrix import SparseMatrix
-
-        dense = (rng.random((24, tensor.shape[2])) < 0.25) \
-            * rng.uniform(0.1, 1.0, (24, tensor.shape[2]))
-        b = SparseMatrix.from_dense(dense)
-        machine = Machine(name="ttm")
-        compile_expression("Z(i,j,k) = A(i,j,l) * B(k,l)").run(
-            tensor, b, machine)
-        cpu = CpuModel().cost(machine.trace)
-        sc = SparseCoreModel().cost(machine.trace)
-        rows.append({"tensor": code, "kernel": "TTM",
-                     "speedup": sc.speedup_over(cpu)})
+        for kernel in ("ttv", "ttm"):
+            m = tensor_metrics(code, kernel)
+            rows.append({"tensor": code, "kernel": kernel.upper(),
+                         "speedup": m["speedup_vs_cpu"]})
     return rows
 
 
@@ -370,27 +340,13 @@ def fig15_summary(matrix_rows: list[dict],
 
 def fig16_rows(matrices=("C204", "L", "G", "CA", "H")) -> list[dict]:
     """Gmean speedups over SparseCore inner-product (one CU each)."""
-    from repro.accel import ExTensorModel, GammaModel, OuterSpaceModel
-    from repro.arch.sparsecore import SparseCoreModel
-    from repro.arch.config import SparseCoreConfig
-    from repro.tensorops.taco import compile_expression
-
-    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1))
     per_matrix: dict[str, dict[str, float]] = {}
     for code in matrices:
-        mat = load_matrix(code)
         cycles: dict[str, float] = {}
-        for dataflow, accel in (
-            ("inner", ExTensorModel()),
-            ("outer", OuterSpaceModel()),
-            ("gustavson", GammaModel()),
-        ):
-            machine = Machine(name=dataflow)
-            compile_expression(
-                "C(i,j) = A(i,k) * B(k,j)", dataflow).run(mat, mat, machine)
-            trace = machine.trace.freeze()
-            cycles[f"sparsecore_{dataflow}"] = one_su.cost(trace).total_cycles
-            cycles[accel.name] = accel.cost(trace).total_cycles
+        for dataflow in ("inner", "outer", "gustavson"):
+            m = spmspm_metrics(code, dataflow)
+            cycles[f"sparsecore_{dataflow}"] = m["sc_cycles_1su"]
+            cycles[m["accel_name"]] = m["accel_cycles"]
         per_matrix[code] = cycles
 
     systems = ["sparsecore_inner", "extensor", "sparsecore_outer",

@@ -48,7 +48,7 @@ CPU_NESTED_LOOP_INSTRS = 8
 OP_SETUP_INSTRS = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamOperand:
     """A stream as seen by a kernel: data plus movement bookkeeping."""
 
@@ -106,6 +106,10 @@ class AppRun:
 class Machine:
     """Recording machine: functional results + cost trace."""
 
+    __slots__ = ("config", "obs", "trace", "transfer", "_burst", "_width",
+                 "record_lengths", "length_samples", "_clock", "_add_op",
+                 "_append_length")
+
     def __init__(self, config: SparseCoreConfig | None = None,
                  name: str = "run", record_lengths: bool = False,
                  probe: Probe | None = None):
@@ -121,6 +125,10 @@ class Machine:
         #: tracer time axis: a sequential model-cycle clock (ops advance
         #: it by their SU time, stalls by their charged cycles)
         self._clock = 0.0
+        # Pre-bound hot-path methods: one op records through a single
+        # bound-method call, not repeated attribute chases.
+        self._add_op = self.trace.add_op
+        self._append_length = self.length_samples.append
 
     # -- stream initialization (S_READ / S_VREAD) -----------------------------
 
@@ -271,23 +279,29 @@ class Machine:
                 bound: int, *, nested: bool = False,
                 flop_pairs: int = 0, extra_mem: tuple[float, float] = (0, 0)):
         stats = analyze_pair(a.keys, b.keys, bound, width=self._width)
-        cpu_a, sc_a = a.take_pending()
-        cpu_b, sc_b = b.take_pending()
-        self.trace.add_op(
+        # Inlined take_pending(): almost every op sees zero pending
+        # charges, so skip the call (and the stores) in that case.
+        cpu_mem, sc_mem = extra_mem
+        if a.pending_cpu or a.pending_sc:
+            cpu_mem += a.pending_cpu
+            sc_mem += a.pending_sc
+            a.pending_cpu = a.pending_sc = 0.0
+        if b.pending_cpu or b.pending_sc:
+            cpu_mem += b.pending_cpu
+            sc_mem += b.pending_sc
+            b.pending_cpu = b.pending_sc = 0.0
+        self._add_op(
             kind, stats, burst=self._burst, nested=nested,
-            cpu_mem=cpu_a + cpu_b + extra_mem[0],
-            sc_mem=sc_a + sc_b + extra_mem[1],
-            flop_pairs=flop_pairs,
+            cpu_mem=cpu_mem, sc_mem=sc_mem, flop_pairs=flop_pairs,
         )
-        self.trace.add_scalar(OP_SETUP_INSTRS)
+        self.trace.shared_scalar_instrs += OP_SETUP_INSTRS
         if self.obs.enabled:
             self._observe_op(kind, stats, nested=nested,
-                             cpu_mem=cpu_a + cpu_b + extra_mem[0],
-                             sc_mem=sc_a + sc_b + extra_mem[1],
+                             cpu_mem=cpu_mem, sc_mem=sc_mem,
                              flop_pairs=flop_pairs)
         if self.record_lengths:
-            self.length_samples.append(len(a))
-            self.length_samples.append(len(b))
+            self._append_length(a.keys.size)
+            self._append_length(b.keys.size)
         return stats
 
     def intersect(self, a, b, bound: int = UNBOUNDED) -> StreamOperand:
@@ -352,7 +366,7 @@ class Machine:
         gather = (ga[0] + gb[0], ga[1] + gb[1])
         cpu_a, sc_a = a.take_pending()
         cpu_b, sc_b = b.take_pending()
-        self.trace.add_op(
+        self._add_op(
             OpKind.VINTER, stats, burst=self._burst,
             cpu_mem=cpu_a + cpu_b + gather[0],
             sc_mem=sc_a + sc_b + gather[1],
@@ -377,7 +391,7 @@ class Machine:
         gather = (ga[0] + gb[0], ga[1] + gb[1])
         cpu_a, sc_a = a.take_pending()
         cpu_b, sc_b = b.take_pending()
-        self.trace.add_op(
+        self._add_op(
             OpKind.VMERGE, stats, burst=self._burst,
             cpu_mem=cpu_a + cpu_b + gather[0],
             sc_mem=sc_a + sc_b + gather[1],
@@ -410,7 +424,7 @@ class Machine:
                 stats = analyze_pair(s.keys, nbr.keys, bound=s_i,
                                      width=self._width)
                 cpu_n, sc_n = nbr.take_pending()
-                self.trace.add_op(
+                self._add_op(
                     OpKind.INTERSECT, stats, burst=self._burst, nested=True,
                     cpu_mem=cpu_n + cpu_pend, sc_mem=sc_n + sc_pend,
                 )

@@ -20,6 +20,7 @@ modules only.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -167,6 +168,9 @@ class ProfileResult:
     cpu_report: object
     sc_report: object
     chrome_trace: dict = field(default_factory=dict)
+    #: harness wall-clock of the recorded run (seconds; the *simulator's*
+    #: cost, as opposed to the modelled machine cycles above)
+    wall_seconds: float = 0.0
 
     # -- rendering ---------------------------------------------------------
 
@@ -185,6 +189,8 @@ class ProfileResult:
                 f"{100 * self.attribution.detail.get('su_occupancy', 0):.1f}%"},
             {"metric": "trace events", "value": len(self.tracer.events)},
             {"metric": "trace events dropped", "value": self.tracer.dropped},
+            {"metric": "harness wall-clock", "value":
+                f"{self.wall_seconds:.3f}s"},
         ]
 
     def counter_rows(self, top: int = 24) -> list[dict]:
@@ -231,6 +237,7 @@ class ProfileResult:
                 },
             },
             "speedup_vs_cpu": self.sc_report.speedup_over(self.cpu_report),
+            "wall_seconds": self.wall_seconds,
             "trace": {
                 "events": len(self.tracer.events),
                 "dropped": self.tracer.dropped,
@@ -258,7 +265,9 @@ def profile_workload(name: str, args: ProfileArgs | None = None,
     args = args or ProfileArgs()
     probe = Probe.collecting(max_events=args.max_events)
     machine = Machine(name=name, probe=probe)
+    start = time.perf_counter()
     result = spec.runner(machine, args)
+    wall = time.perf_counter() - start
 
     from repro.arch.cpu import CpuModel
     from repro.arch.sparsecore import SparseCoreModel
@@ -276,6 +285,7 @@ def profile_workload(name: str, args: ProfileArgs | None = None,
         workload=name, family=spec.family, result=result,
         counters=probe.counters, tracer=probe.tracer, attribution=attr,
         cpu_report=cpu, sc_report=sc, chrome_trace=chrome,
+        wall_seconds=wall,
     )
 
 
@@ -289,6 +299,32 @@ def smoke(args: ProfileArgs | None = None) -> list[ProfileResult]:
             for name in SMOKE_WORKLOADS]
 
 
+def _profile_to_json(payload) -> dict:
+    """Top-level (picklable) worker for :func:`profile_many`."""
+    name, args, include_trace_events = payload
+    return profile_workload(name, args, check=True).to_json(
+        include_trace_events=include_trace_events)
+
+
+def profile_many(names, args: ProfileArgs | None = None, *,
+                 jobs: int = 1,
+                 include_trace_events: bool = False) -> list[dict]:
+    """Profile several workloads, optionally across worker processes.
+
+    Returns ``to_json`` payloads (full :class:`ProfileResult` objects
+    hold tracers and reports that do not cross process boundaries).
+    Results come back in ``names`` order regardless of worker count.
+    """
+    args = args or ProfileArgs()
+    payloads = [(name, args, include_trace_events) for name in names]
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_profile_to_json(p) for p in payloads]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(_profile_to_json, payloads))
+
+
 def write_chrome_trace(result: ProfileResult, path) -> None:
     """Dump the (already validated) Chrome trace JSON to ``path``."""
     with open(path, "w") as fh:
@@ -298,5 +334,6 @@ def write_chrome_trace(result: ProfileResult, path) -> None:
 __all__ = [
     "PROFILE_SCHEMA_VERSION", "ProfileArgs", "ProfileResult",
     "SMOKE_WORKLOADS", "THREAD_NAMES", "WORKLOADS", "WorkloadSpec",
-    "profile_workload", "smoke", "workload_names", "write_chrome_trace",
+    "profile_many", "profile_workload", "smoke", "workload_names",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,44 @@
+"""Performance layer: parallel run engine + persistent trace cache.
+
+:mod:`repro.perf.cache` stores recorded traces on disk (content-
+addressed by workload + dataset generator parameters) so warm runs only
+re-price traces; :mod:`repro.perf.engine` fans independent (app,
+dataset, scale) jobs out over worker processes and merges their
+observability counters back deterministically.
+"""
+
+from repro.perf.cache import (
+    CACHE_FORMAT_VERSION,
+    CachedRun,
+    LRUCache,
+    RunCache,
+    cache_enabled,
+    default_cache_dir,
+    default_run_cache,
+    fingerprint,
+    mem_cache_capacity,
+    reset_default_run_cache,
+)
+from repro.perf.engine import (
+    RunJob,
+    figure_suite_jobs,
+    job_key,
+    run_jobs,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CachedRun",
+    "LRUCache",
+    "RunCache",
+    "RunJob",
+    "cache_enabled",
+    "default_cache_dir",
+    "default_run_cache",
+    "figure_suite_jobs",
+    "fingerprint",
+    "job_key",
+    "mem_cache_capacity",
+    "reset_default_run_cache",
+    "run_jobs",
+]

@@ -1,0 +1,296 @@
+"""Persistent, content-addressed run cache.
+
+The paper's methodology records each application **once** and re-costs
+the same trace under every machine model (Section 6.1).  This module
+extends that record-once/re-cost-many loop across *processes*: a
+recorded :class:`~repro.arch.trace.FrozenTrace` is serialized to a
+compressed ``.npz`` (columns + Figure 14 length samples) next to a JSON
+metadata sidecar, addressed by a SHA-256 fingerprint of everything that
+determines the recording:
+
+* the workload identity (app code / dataflow / kernel),
+* the dataset *generator parameters* (not just its name — rescaling or
+  reseeding a stand-in changes the key),
+* the scale factor,
+* :data:`CACHE_FORMAT_VERSION`.
+
+Cost-model outputs are deliberately **not** cached: a hit re-prices the
+stored trace under the current models, so model changes never serve
+stale metrics — only the expensive per-op Python recording is skipped.
+
+The cache root comes from ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-sparsecore/runs``, ``$XDG_CACHE_HOME``-aware); setting
+``REPRO_RUN_CACHE=0`` disables the default cache entirely.  Manage it
+with ``python -m repro cache {stats,prewarm,clear}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.trace import _ARRAY_FIELDS, _SCALAR_FIELDS, FrozenTrace
+
+#: Bump whenever the trace layout or recording semantics change in a
+#: way that invalidates previously stored runs.
+CACHE_FORMAT_VERSION = 1
+
+#: Sidecar schema version (the JSON next to each ``.npz``).
+SIDECAR_SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLE = "REPRO_RUN_CACHE"
+_ENV_MEM_ENTRIES = "REPRO_RUN_CACHE_ENTRIES"
+
+#: Default bound of the in-memory metrics LRU (:class:`LRUCache`).
+DEFAULT_MEM_ENTRIES = 256
+
+
+class LRUCache:
+    """A small bounded LRU mapping (the in-memory metrics cache).
+
+    ``capacity <= 0`` means unbounded (the pre-PR behaviour, kept for
+    explicit opt-in); lookups refresh recency.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MEM_ENTRIES):
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.capacity > 0:
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"LRUCache({len(self._data)}/{self.capacity})"
+
+
+def mem_cache_capacity() -> int:
+    """Entry cap of the in-memory metrics LRU (env-configurable)."""
+    try:
+        return int(os.environ.get(_ENV_MEM_ENTRIES, DEFAULT_MEM_ENTRIES))
+    except ValueError:
+        return DEFAULT_MEM_ENTRIES
+
+
+def fingerprint(kind: str, params: dict,
+                version: int = CACHE_FORMAT_VERSION) -> str:
+    """Content address of one run: hash of workload + generator params."""
+    blob = json.dumps({"kind": kind, "params": params, "version": version},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass
+class CachedRun:
+    """One disk-cache hit: the recorded trace plus run-level facts."""
+
+    trace: FrozenTrace
+    meta: dict
+    lengths: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sparsecore" / "runs"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(_ENV_ENABLE, "1") not in ("0", "false", "off", "")
+
+
+class RunCache:
+    """Content-addressed on-disk store of recorded runs.
+
+    Layout: ``<root>/<fingerprint>.npz`` (trace columns + lengths) and
+    ``<root>/<fingerprint>.json`` (sidecar: key parameters and run
+    facts such as the embedding count).  Writes are atomic
+    (temp file + ``os.replace``), so concurrent workers racing on the
+    same key simply last-write-win with identical bytes-equivalent
+    content.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, kind: str, params: dict) -> str:
+        return fingerprint(kind, params)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.root / f"{key}.npz", self.root / f"{key}.json"
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, key: str) -> CachedRun | None:
+        npz_path, json_path = self._paths(key)
+        try:
+            meta = json.loads(json_path.read_text())
+            with np.load(npz_path) as data:
+                scalars = data["scalars"]
+                trace = FrozenTrace(
+                    name=str(data["name"]),
+                    **{f: data[f] for f in _ARRAY_FIELDS},
+                    **{f: int(scalars[i])
+                       for i, f in enumerate(_SCALAR_FIELDS)},
+                )
+                lengths = (np.asarray(data["lengths"], dtype=np.int64)
+                           if "lengths" in data.files
+                           else np.empty(0, dtype=np.int64))
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            return None  # missing or corrupt entry == miss
+        if meta.get("format_version") != CACHE_FORMAT_VERSION:
+            return None
+        return CachedRun(trace=trace, meta=meta, lengths=lengths)
+
+    def __contains__(self, key: str) -> bool:
+        npz_path, json_path = self._paths(key)
+        return npz_path.exists() and json_path.exists()
+
+    # -- write -------------------------------------------------------------
+
+    def put(self, key: str, trace: FrozenTrace, meta: dict,
+            lengths: np.ndarray | None = None) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        npz_path, json_path = self._paths(key)
+        sidecar = {
+            "schema_version": SIDECAR_SCHEMA_VERSION,
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "num_ops": trace.num_ops,
+            **meta,
+        }
+        extra = {}
+        if lengths is not None:
+            extra["lengths"] = np.asarray(lengths, dtype=np.int64)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                trace.save(fh, **extra)
+            os.replace(tmp, npz_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(sidecar, fh, indent=1, sort_keys=True)
+            os.replace(tmp, json_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Sidecars of every cached run (sorted by key)."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    def stats(self) -> dict:
+        """Entry count and on-disk footprint."""
+        entries = 0
+        total_bytes = 0
+        num_ops = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix == ".npz":
+                    entries += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+            for meta in self.entries():
+                num_ops += int(meta.get("num_ops", 0))
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "stream_ops": num_ops,
+            "format_version": CACHE_FORMAT_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.iterdir():
+            if path.suffix in (".npz", ".json") or path.name.endswith(".tmp"):
+                try:
+                    path.unlink()
+                    removed += path.suffix == ".npz"
+                except OSError:
+                    continue
+        return removed
+
+    def __repr__(self) -> str:
+        return f"RunCache({str(self.root)!r})"
+
+
+_DEFAULT_CACHE: RunCache | None = None
+_DEFAULT_CACHE_READY = False
+
+
+def default_run_cache() -> RunCache | None:
+    """Process-wide default cache (``None`` when disabled by env)."""
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_READY
+    if not _DEFAULT_CACHE_READY:
+        _DEFAULT_CACHE = RunCache() if cache_enabled() else None
+        _DEFAULT_CACHE_READY = True
+    return _DEFAULT_CACHE
+
+
+def reset_default_run_cache() -> None:
+    """Forget the cached default (tests / env changes)."""
+    global _DEFAULT_CACHE, _DEFAULT_CACHE_READY
+    _DEFAULT_CACHE = None
+    _DEFAULT_CACHE_READY = False
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION", "CachedRun", "LRUCache", "RunCache",
+    "cache_enabled", "default_cache_dir", "default_run_cache",
+    "fingerprint", "mem_cache_capacity", "reset_default_run_cache",
+]

@@ -1,0 +1,177 @@
+"""Parallel evaluation engine.
+
+Every figure run in the harness is embarrassingly parallel across
+(workload, dataset, scale) jobs — each job records (or loads) one trace
+and prices it under the current cost models, sharing no state with its
+siblings beyond the content-addressed disk cache.  :func:`run_jobs`
+fans a job list out over a ``ProcessPoolExecutor``; results come back
+keyed by :func:`job_key` so callers get deterministic, order-independent
+output, and per-worker :class:`~repro.obs.counters.Counters` snapshots
+are merged into the parent **in job-list order** (not completion
+order), keeping merged float totals bit-identical to a serial run.
+
+Serial execution (``workers <= 1``) runs the same job function inline —
+the parallel path differs only in process placement, never in results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.obs.counters import Counters
+
+#: Job kinds understood by :func:`_execute_job`.
+_KINDS = ("gpm", "spmspm", "tensor")
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One unit of parallel work: a workload on a dataset at a scale.
+
+    ``kind`` selects the runner: ``"gpm"`` (``app`` = app code,
+    ``dataset`` = graph), ``"spmspm"`` (``app`` = dataflow, ``dataset``
+    = matrix), or ``"tensor"`` (``app`` = ``ttv``/``ttm``, ``dataset``
+    = CSF tensor).
+    """
+
+    kind: str
+    app: str
+    dataset: str
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; expected one of {_KINDS}")
+
+
+def job_key(job: RunJob) -> str:
+    """Stable human-readable identity of one job."""
+    if job.kind == "gpm":
+        return f"gpm:{job.app}:{job.dataset}:{job.scale}"
+    return f"{job.kind}:{job.app}:{job.dataset}"
+
+
+def figure_suite_jobs(scale: float = 1.0, *, smoke: bool = False) -> list[RunJob]:
+    """Every distinct run behind the Section 6 figure suite.
+
+    GPM jobs are deduplicated across Figures 7-14 (the per-pair heavy
+    trims make the same (app, graph) appear at one effective scale);
+    SpMSpM and TTV/TTM jobs cover Figures 15 and 16.  ``smoke`` keeps
+    only a small representative subset (used by CI prewarm).
+    """
+    from repro.eval import figures as F
+
+    jobs: dict[str, RunJob] = {}
+
+    def add(job: RunJob) -> None:
+        jobs.setdefault(job_key(job), job)
+
+    if smoke:
+        for app in ("T", "TC"):
+            add(RunJob("gpm", app, "C",
+                       round(scale * F.HEAVY_TRIMS.get((app, "C"), 1.0), 4)))
+        add(RunJob("spmspm", "inner", "CA"))
+        add(RunJob("tensor", "ttv", "Ch"))
+        return list(jobs.values())
+
+    pairs = set()
+    for apps, graphs in (
+        (F.FIG7_APPS, F.FIG7_GRAPHS),
+        (F.FIG8_APPS, F.FIG8_GRAPHS),
+        (F.FIG9_APPS, F.FIG8_GRAPHS),
+        (F.FIG10_APPS, F.FIG8_GRAPHS),
+        (F.FIG11_APPS, F.FIG11_GRAPHS),
+        (F.FIG12_APPS, F.FIG12_GRAPHS),
+        (F.FIG14_LEFT_APPS, ("E",)),
+        (("T",), F.FIG8_GRAPHS),  # Figure 14 right
+    ):
+        pairs.update((a, g) for a in apps for g in graphs)
+    for app, graph in sorted(pairs):
+        trim = F.HEAVY_TRIMS.get((app, graph), 1.0)
+        add(RunJob("gpm", app, graph, round(scale * trim, 4)))
+
+    from repro.tensor.datasets import MATRIX_FIGURE_ORDER
+
+    fig16 = ("C204", "L", "G", "CA", "H")
+    for code in tuple(MATRIX_FIGURE_ORDER) + fig16:
+        for dataflow in ("inner", "outer", "gustavson"):
+            add(RunJob("spmspm", dataflow, code))
+    for code in ("Ch", "U"):
+        for kernel in ("ttv", "ttm"):
+            add(RunJob("tensor", kernel, code))
+    return list(jobs.values())
+
+
+def _execute_job(payload) -> tuple[str, dict, dict | None]:
+    """Top-level (picklable) worker: run one job, return its metrics.
+
+    ``payload`` is ``(job, cache_root, use_disk_cache, collect_counters)``
+    — primitives only, so the same function serves the inline serial
+    path and pool workers.
+    """
+    job, cache_root, use_disk_cache, collect_counters = payload
+    from repro.eval import runs
+    from repro.obs.probe import Probe
+    from repro.perf.cache import RunCache, default_run_cache
+
+    if not use_disk_cache:
+        cache = None
+    elif cache_root is not None:
+        cache = RunCache(cache_root)
+    else:
+        cache = default_run_cache()
+    probe = Probe(counters=Counters()) if collect_counters else None
+
+    if job.kind == "gpm":
+        metrics = runs.compute_gpm_metrics(job.app, job.dataset, job.scale,
+                                           cache=cache, probe=probe)
+    elif job.kind == "spmspm":
+        metrics = runs.compute_spmspm_metrics(job.dataset, job.app,
+                                              cache=cache, probe=probe)
+    else:
+        metrics = runs.compute_tensor_metrics(job.dataset, job.app,
+                                              cache=cache, probe=probe)
+    counters = probe.counters.flat() if collect_counters else None
+    return job_key(job), metrics, counters
+
+
+def run_jobs(jobs, *, workers: int = 1, cache_dir=None,
+             counters: Counters | None = None,
+             use_disk_cache: bool = True) -> dict[str, dict]:
+    """Execute ``jobs``, serially or across ``workers`` processes.
+
+    Returns ``{job_key: metrics}``.  Duplicate jobs (same key) run
+    once.  When ``counters`` is given, each job runs under a fresh
+    counter set and the snapshots are merged into ``counters`` in
+    job-list order, so totals match a serial instrumented run exactly.
+    The in-process metrics memo is bypassed (each job recomputes from
+    its trace), keeping results independent of memo state.
+    """
+    unique: dict[str, RunJob] = {}
+    for job in jobs:
+        unique.setdefault(job_key(job), job)
+    ordered = list(unique.values())
+    cache_root = os.fspath(cache_dir) if cache_dir is not None else None
+    collect = counters is not None
+    payloads = [(job, cache_root, use_disk_cache, collect)
+                for job in ordered]
+
+    if workers <= 1 or len(ordered) <= 1:
+        outcomes = [_execute_job(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(ordered))) as pool:
+            outcomes = list(pool.map(_execute_job, payloads))
+
+    results: dict[str, dict] = {}
+    for key, metrics, flat in outcomes:  # job-list order == merge order
+        results[key] = metrics
+        if collect and flat:
+            snap = Counters()
+            for name, value in flat.items():
+                snap.add(name, value)
+            counters.merge(snap)
+    return results

@@ -1,0 +1,63 @@
+"""Low-level sorted-array kernels shared by the stream ops and the run
+analysis.
+
+The stream contract (:mod:`repro.streams.stream`) guarantees strictly
+increasing key arrays, which lets union-style operations skip the full
+re-sort ``np.union1d`` performs on its concatenated input: a sorted
+interleave (one ``searchsorted`` pass instead of an O(n log n) sort)
+followed by a linear duplicate drop produces the identical result.
+
+These kernels are deliberately dependency-free (numpy only) so both
+:mod:`repro.streams.ops` and :mod:`repro.streams.runstats` can use them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dedup_sorted", "merge_sorted", "sorted_union"]
+
+
+def dedup_sorted(x: np.ndarray) -> np.ndarray:
+    """Drop adjacent duplicates from a sorted array (linear)."""
+    if x.size <= 1:
+        return x
+    keep = np.empty(x.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(x[1:], x[:-1], out=keep[1:])
+    if keep.all():
+        return x
+    return x[keep]
+
+
+def merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Stable multiset merge of two sorted arrays (duplicates kept).
+
+    Interleaves ``b`` into ``a`` at the positions ``searchsorted``
+    reports — no sort of the combined array ever happens, unlike
+    ``np.union1d``'s concatenate-and-sort.
+    """
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a
+    dtype = np.promote_types(a.dtype, b.dtype)
+    pos_b = np.searchsorted(a, b, side="right") + np.arange(b.size)
+    out = np.empty(a.size + b.size, dtype=dtype)
+    mask_a = np.ones(out.size, dtype=bool)
+    mask_a[pos_b] = False
+    out[pos_b] = b
+    out[mask_a] = a
+    return out
+
+
+def sorted_union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted set union of two sorted arrays.
+
+    Bit-identical to ``np.union1d`` for sorted inputs (duplicates
+    within either input are dropped too), without re-sorting.
+    """
+    if a.size == 0 and b.size == 0:
+        return np.empty(0, dtype=np.promote_types(a.dtype, b.dtype))
+    return dedup_sorted(merge_sorted(a, b))

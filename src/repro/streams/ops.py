@@ -21,6 +21,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.errors import StreamError
+from repro.streams.kernels import sorted_union
 from repro.streams.runstats import UNBOUNDED, truncate_bound
 
 __all__ = [
@@ -76,8 +77,14 @@ def subtract_count(a: np.ndarray, b: np.ndarray, bound: int = UNBOUNDED) -> int:
 
 
 def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Sorted union of two sorted key arrays (``S_MERGE``)."""
-    return np.union1d(a, b)
+    """Sorted union of two sorted key arrays (``S_MERGE``).
+
+    A linear sorted-union kernel: since both operands are already
+    sorted (the stream contract), the union is a single interleave plus
+    a duplicate drop — no re-sort.  Bit-identical to ``np.union1d`` on
+    sorted inputs.
+    """
+    return sorted_union(a, b)
 
 
 def merge_count(a: np.ndarray, b: np.ndarray) -> int:
@@ -177,10 +184,14 @@ def vmerge(
     ``[(1,1),(5,36)]`` with scales 2 and 3 yields
     ``[(1,11),(3,42),(5,108)]``.
     """
-    out_keys = np.union1d(a_keys, b_keys)
+    out_keys = sorted_union(a_keys, b_keys)
     out_vals = np.zeros(out_keys.size, dtype=np.float64)
+    # Stream keys are duplicate-free, so every input key lands on a
+    # distinct output slot: a plain fancy-indexed accumulate replaces
+    # the (much slower) unbuffered np.add.at scatter.  A-side first,
+    # then B-side, preserving the original summation order bit-exactly.
     if a_keys.size:
-        np.add.at(out_vals, np.searchsorted(out_keys, a_keys), alpha * a_vals)
+        out_vals[np.searchsorted(out_keys, a_keys)] += alpha * a_vals
     if b_keys.size:
-        np.add.at(out_vals, np.searchsorted(out_keys, b_keys), beta * b_vals)
+        out_vals[np.searchsorted(out_keys, b_keys)] += beta * b_vals
     return out_keys, out_vals

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.streams.kernels import sorted_union
+
 #: Width of the SU parallel-comparison window (paper Section 4.2: "We set
 #: the buffer size as 16").
 SU_BUFFER_WIDTH = 16
@@ -204,7 +206,7 @@ def analyze_pair(
     if a_eff.size + b_eff.size <= _SMALL_OP_THRESHOLD:
         return _analyze_small(a_eff, b_eff, len_a, len_b, width)
 
-    union = np.union1d(a_eff, b_eff)
+    union = sorted_union(a_eff, b_eff)
     in_a = np.zeros(union.size, dtype=bool)
     in_a[np.searchsorted(union, a_eff)] = True
     in_b = np.zeros(union.size, dtype=bool)

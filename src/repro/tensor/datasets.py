@@ -234,6 +234,16 @@ def _resolve(name: str, registry, by_code, kind: str):
     raise DatasetError(f"unknown {kind} dataset {name!r}; known: {sorted(registry)}")
 
 
+def resolve_matrix(name: str) -> MatrixSpec:
+    """Look up a matrix spec by registry key or figure code."""
+    return _resolve(name, MATRIX_REGISTRY, _MAT_BY_CODE, "matrix")
+
+
+def resolve_tensor(name: str) -> TensorSpec:
+    """Look up a tensor spec by registry key or figure code."""
+    return _resolve(name, TENSOR_REGISTRY, _TEN_BY_CODE, "tensor")
+
+
 @lru_cache(maxsize=32)
 def load_matrix(name: str) -> SparseMatrix:
     """Build (and cache) the stand-in matrix for ``name`` (key or code)."""

@@ -1,0 +1,26 @@
+"""Suite-wide fixtures.
+
+The persistent run cache is pointed at a per-session temp directory so
+tests never read from (or clear) a developer's real ``~/.cache`` — and
+so cached-vs-fresh behaviour is deterministic across runs.
+"""
+
+import pytest
+
+from repro.perf.cache import reset_default_run_cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_run_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("run-cache")
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    reset_default_run_cache()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    reset_default_run_cache()

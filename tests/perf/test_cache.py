@@ -1,0 +1,198 @@
+"""Persistent run cache: round-trips, keys, LRU bounding, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.trace import FrozenTrace
+from repro.eval import runs
+from repro.gpm.apps import run_app
+from repro.graph.datasets import load_graph
+from repro.perf.cache import (
+    CACHE_FORMAT_VERSION,
+    LRUCache,
+    RunCache,
+    default_run_cache,
+    fingerprint,
+    mem_cache_capacity,
+    reset_default_run_cache,
+)
+
+SMALL = 0.12
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "runs")
+
+
+def _record_trace() -> FrozenTrace:
+    graph = load_graph("citeseer", SMALL)
+    return run_app("T", graph).trace.freeze()
+
+
+class TestFingerprint:
+    def test_stable(self):
+        params = {"app": "T", "graph": "citeseer", "scale": 0.12}
+        assert fingerprint("gpm", params) == fingerprint("gpm", params)
+
+    def test_param_order_irrelevant(self):
+        assert fingerprint("gpm", {"a": 1, "b": 2}) \
+            == fingerprint("gpm", {"b": 2, "a": 1})
+
+    def test_changes_with_params(self):
+        base = fingerprint("gpm", {"app": "T", "seed": 1})
+        assert fingerprint("gpm", {"app": "T", "seed": 2}) != base
+        assert fingerprint("gpm", {"app": "TS", "seed": 1}) != base
+        assert fingerprint("tensor", {"app": "T", "seed": 1}) != base
+
+    def test_changes_with_format_version(self):
+        params = {"app": "T"}
+        assert fingerprint("gpm", params, version=CACHE_FORMAT_VERSION) \
+            != fingerprint("gpm", params, version=CACHE_FORMAT_VERSION + 1)
+
+
+class TestRoundTrip:
+    def test_trace_round_trip(self, cache):
+        trace = _record_trace()
+        lengths = np.arange(7, dtype=np.int64)
+        key = cache.key("gpm", {"x": 1})
+        cache.put(key, trace, meta={"kind": "gpm", "count": 42},
+                  lengths=lengths)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.meta["count"] == 42
+        assert hit.meta["num_ops"] == trace.num_ops
+        np.testing.assert_array_equal(hit.lengths, lengths)
+        for field in ("kind", "su_cycles", "cpu_steps", "dir_changes",
+                      "eff_elems", "out_len", "flop_pairs", "burst",
+                      "nested", "cpu_mem", "sc_mem"):
+            got, want = getattr(hit.trace, field), getattr(trace, field)
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == want.dtype
+        for field in ("shared_scalar_instrs", "cpu_only_scalar_instrs",
+                      "sc_only_scalar_instrs"):
+            assert getattr(hit.trace, field) == getattr(trace, field)
+
+    def test_miss_on_unknown_key(self, cache):
+        assert cache.get("0" * 24) is None
+
+    def test_miss_on_corrupt_npz(self, cache):
+        trace = _record_trace()
+        key = cache.key("gpm", {"x": 2})
+        cache.put(key, trace, meta={"kind": "gpm"})
+        (cache.root / f"{key}.npz").write_bytes(b"not an npz archive")
+        assert cache.get(key) is None
+
+    def test_miss_on_format_version_mismatch(self, cache):
+        trace = _record_trace()
+        key = cache.key("gpm", {"x": 3})
+        cache.put(key, trace, meta={"kind": "gpm"})
+        sidecar = cache.root / f"{key}.json"
+        meta = json.loads(sidecar.read_text())
+        meta["format_version"] = CACHE_FORMAT_VERSION + 1
+        sidecar.write_text(json.dumps(meta))
+        assert cache.get(key) is None
+
+    def test_stats_and_clear(self, cache):
+        trace = _record_trace()
+        for i in range(3):
+            cache.put(cache.key("gpm", {"i": i}), trace,
+                      meta={"kind": "gpm"})
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["stream_ops"] == 3 * trace.num_ops
+        assert len(cache.entries()) == 3
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+
+class TestLRU:
+    def test_bounded_eviction(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert "a" not in lru
+        assert lru.get("b") == 2 and lru.get("c") == 3
+        assert len(lru) == 2
+
+    def test_get_refreshes_recency(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")
+        lru.put("c", 3)
+        assert "a" in lru and "b" not in lru
+
+    def test_unbounded_when_nonpositive(self):
+        lru = LRUCache(capacity=0)
+        for i in range(500):
+            lru.put(i, i)
+        assert len(lru) == 500
+
+    def test_capacity_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CACHE_ENTRIES", "17")
+        assert mem_cache_capacity() == 17
+        monkeypatch.setenv("REPRO_RUN_CACHE_ENTRIES", "junk")
+        assert mem_cache_capacity() == 256
+
+
+class TestDefaultCache:
+    def test_env_dir_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        reset_default_run_cache()
+        try:
+            assert default_run_cache().root == tmp_path / "alt"
+        finally:
+            reset_default_run_cache()
+
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+        reset_default_run_cache()
+        try:
+            assert default_run_cache() is None
+        finally:
+            reset_default_run_cache()
+
+
+class TestWarmMetricsIdentity:
+    def test_gpm_cold_vs_warm_bit_identical(self, cache):
+        cold = runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
+        warm = runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
+        assert _canon(cold) == _canon(warm)
+
+    def test_warm_path_actually_hits(self, cache, monkeypatch):
+        runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
+
+        def boom(*a, **k):
+            raise AssertionError("re-recorded despite a cache hit")
+
+        monkeypatch.setattr(runs, "run_app", boom)
+        warm = runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
+        assert warm["count"] > 0
+
+    def test_clear_run_cache_clears_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))
+        reset_default_run_cache()
+        try:
+            runs.clear_run_cache()
+            runs.gpm_metrics("T", "C", SMALL)
+            assert default_run_cache().stats()["entries"] == 1
+            runs.clear_run_cache()
+            assert default_run_cache().stats()["entries"] == 0
+            a = runs.gpm_metrics("T", "C", SMALL)
+            assert runs.gpm_metrics("T", "C", SMALL) is a
+        finally:
+            reset_default_run_cache()
+            runs.clear_run_cache(disk=False)
+
+
+def _canon(x):
+    if isinstance(x, dict):
+        return {k: _canon(v) for k, v in x.items()}
+    if isinstance(x, np.ndarray):
+        return x.tolist()
+    return x

@@ -1,0 +1,105 @@
+"""The linear merge kernels vs their numpy reference implementations.
+
+``sorted_union`` replaced ``np.union1d`` on the merge hot path and the
+``vmerge`` scatter replaced ``np.add.at``; both must stay bit-identical
+to the references for every valid stream input (sorted keys — the
+stream contract — with or without cross-stream overlap).
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams.kernels import dedup_sorted, merge_sorted, sorted_union
+from repro.streams.ops import merge, merge_count, vmerge
+
+
+def _random_sorted(rng, n, hi=200):
+    return np.unique(rng.integers(0, hi, size=n)).astype(np.int64)
+
+
+class TestSortedUnion:
+    def test_empty_both(self):
+        out = sorted_union(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert out.size == 0
+
+    def test_one_empty(self):
+        a = np.array([1, 5, 9], dtype=np.int64)
+        e = np.empty(0, np.int64)
+        np.testing.assert_array_equal(sorted_union(a, e), a)
+        np.testing.assert_array_equal(sorted_union(e, a), a)
+
+    def test_matches_union1d_randomized(self):
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            a = _random_sorted(rng, int(rng.integers(0, 40)))
+            b = _random_sorted(rng, int(rng.integers(0, 40)))
+            got = sorted_union(a, b)
+            want = np.union1d(a, b)
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == want.dtype
+
+    def test_disjoint_and_identical(self):
+        a = np.array([0, 2, 4], dtype=np.int64)
+        b = np.array([1, 3, 5], dtype=np.int64)
+        np.testing.assert_array_equal(sorted_union(a, b),
+                                      np.arange(6, dtype=np.int64))
+        np.testing.assert_array_equal(sorted_union(a, a), a)
+
+    def test_dedup_sorted_within_array(self):
+        x = np.array([1, 1, 2, 5, 5, 5, 9], dtype=np.int64)
+        np.testing.assert_array_equal(dedup_sorted(x),
+                                      np.array([1, 2, 5, 9]))
+
+    def test_merge_sorted_is_stable_multiset(self):
+        a = np.array([1, 3, 3], dtype=np.int64)
+        b = np.array([2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(merge_sorted(a, b),
+                                      np.array([1, 2, 3, 3, 3]))
+
+
+class TestMergeOp:
+    def test_matches_union1d_randomized(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a = _random_sorted(rng, int(rng.integers(0, 50)))
+            b = _random_sorted(rng, int(rng.integers(0, 50)))
+            np.testing.assert_array_equal(merge(a, b), np.union1d(a, b))
+            assert merge_count(a, b) == np.union1d(a, b).size
+
+
+class TestVMergeScatter:
+    @staticmethod
+    def _reference(a_keys, a_vals, b_keys, b_vals, alpha, beta):
+        """The original np.add.at formulation."""
+        out_keys = np.union1d(a_keys, b_keys)
+        out_vals = np.zeros(out_keys.size, dtype=np.float64)
+        np.add.at(out_vals, np.searchsorted(out_keys, a_keys),
+                  alpha * a_vals)
+        np.add.at(out_vals, np.searchsorted(out_keys, b_keys),
+                  beta * b_vals)
+        return out_keys, out_vals
+
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 1.0), (0.5, -2.0),
+                                            (1e-9, 1e9)])
+    def test_matches_add_at_randomized(self, alpha, beta):
+        rng = np.random.default_rng(2)
+        for _ in range(150):
+            a_keys = _random_sorted(rng, int(rng.integers(0, 30)))
+            b_keys = _random_sorted(rng, int(rng.integers(0, 30)))
+            a_vals = rng.standard_normal(a_keys.size)
+            b_vals = rng.standard_normal(b_keys.size)
+            got_k, got_v = vmerge(alpha, a_keys, a_vals,
+                                  beta, b_keys, b_vals)
+            want_k, want_v = self._reference(a_keys, a_vals, b_keys,
+                                             b_vals, alpha, beta)
+            np.testing.assert_array_equal(got_k, want_k)
+            # bit-identical, not just close:
+            assert np.array_equal(got_v, want_v)
+
+    def test_overlap_sums_both_sides(self):
+        k, v = vmerge(1.0, np.array([1, 2], dtype=np.int64),
+                      np.array([10.0, 20.0]),
+                      1.0, np.array([2, 3], dtype=np.int64),
+                      np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(k, np.array([1, 2, 3]))
+        np.testing.assert_array_equal(v, np.array([10.0, 21.0, 2.0]))
