@@ -32,12 +32,31 @@ Commands:
     by workload + dataset generator parameters).  ``prewarm`` records
     every run behind the figure suite so subsequent figure/table
     commands only re-price cached traces.
+``workloads [--list]``
+    List the unified workload registry (name, family, app selector,
+    dataset kind, figure membership) that ``run``/``spmspm``/
+    ``profile``/``cache prewarm`` all resolve through.
+
+Workloads and datasets resolve through :mod:`repro.workloads` on every
+subcommand; unknown names exit with status 2 and a one-line message.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _dataset_for_args(spec, args) -> str:
+    """Resolve the per-kind dataset flags for one workload spec."""
+    from repro.workloads import dataset_for
+
+    return dataset_for(
+        spec,
+        graph=getattr(args, "graph", None),
+        matrix=getattr(args, "matrix", None),
+        tensor=getattr(args, "tensor", None),
+    )
 
 
 def _cmd_datasets(_args) -> int:
@@ -52,17 +71,17 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.gpm import run_app
-    from repro.graph.datasets import load_graph
+    from repro.arch import CpuModel, SparseCoreModel
+    from repro.workloads import run_workload, workload_for_app
 
-    num_labels = 4 if args.app == "FSM" else 0
-    graph = load_graph(args.graph, args.scale, num_labels=num_labels)
-    print(f"graph: {graph}")
-    run = run_app(args.app, graph)
-    cpu = run.cpu_report()
-    sc = run.sparsecore_report()
-    print(f"result: {run.count}")
-    print(f"stream ops: {run.trace.num_ops}")
+    spec = workload_for_app("gpm", args.app)
+    dataset = _dataset_for_args(spec, args)
+    rec = run_workload(spec, dataset, args.scale, cache=None, price=False)
+    print(f"graph: {rec.summary['graph']}")
+    cpu = CpuModel().cost(rec.trace)
+    sc = SparseCoreModel().cost(rec.trace)
+    print(f"result: {rec.meta['count']}")
+    print(f"stream ops: {rec.trace.num_ops}")
     print(f"cpu cycles:        {cpu.total_cycles:.4g}")
     print(f"sparsecore cycles: {sc.total_cycles:.4g}")
     print(f"speedup: {sc.speedup_over(cpu):.2f}x")
@@ -162,18 +181,15 @@ def _cmd_figure(args) -> int:
 
 def _cmd_spmspm(args) -> int:
     from repro.arch import CpuModel, SparseCoreModel
-    from repro.machine.context import Machine
-    from repro.tensor.datasets import load_matrix
-    from repro.tensorops.taco import compile_expression
+    from repro.workloads import run_workload, workload_for_app
 
-    mat = load_matrix(args.matrix)
-    print(f"matrix: {mat}")
-    kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", args.dataflow)
-    machine = Machine()
-    result = kernel.run(mat, mat, machine)
-    cpu = CpuModel().cost(machine.trace)
-    sc = SparseCoreModel().cost(machine.trace)
-    print(f"C: {result}")
+    spec = workload_for_app("spmspm", args.dataflow)
+    dataset = _dataset_for_args(spec, args)
+    rec = run_workload(spec, dataset, cache=None, price=False)
+    print(f"matrix: {rec.summary['matrix']}")
+    cpu = CpuModel().cost(rec.trace)
+    sc = SparseCoreModel().cost(rec.trace)
+    print(f"C: {rec.summary['C']}")
     print(f"speedup vs CPU: {sc.speedup_over(cpu):.2f}x")
     from repro.eval.reporting import render_cycle_reports
 
@@ -247,9 +263,9 @@ def _cmd_profile(args) -> int:
 
     if not args.workload:
         print("available workloads:")
-        from repro.obs.profile import WORKLOADS
+        from repro.workloads import REGISTRY
 
-        for spec in WORKLOADS.values():
+        for spec in REGISTRY.values():
             print(f"  {spec.name:16s} [{spec.family}]  {spec.description}")
         return 0
 
@@ -336,6 +352,27 @@ def _cmd_cache(args) -> int:
           f"({args.jobs} worker(s)); cache now holds "
           f"{stats['entries']} entries / {stats['bytes'] / 1e6:.1f} MB "
           f"at {stats['root']}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.workloads import REGISTRY
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+    from repro.eval.reporting import render
+
+    rows = [{
+        "workload": spec.name,
+        "family": spec.family,
+        "app": spec.app,
+        "datasets": f"{spec.dataset_kind} (default {spec.default_dataset})",
+        "figures": ",".join(t.removeprefix("fig") for t in spec.figures)
+                   or "-",
+    } for spec in REGISTRY.values()]
+    print(render(rows, "workload registry"))
     return 0
 
 
@@ -435,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prewarm a small representative job set")
     cache.add_argument("--verbose", action="store_true",
                        help="list individual entries under stats")
+
+    workloads = sub.add_parser(
+        "workloads", help="list the unified workload registry")
+    workloads.add_argument("--list", action="store_true",
+                           help="print bare workload names only")
     return parser
 
 
@@ -448,12 +490,19 @@ _COMMANDS = {
     "difftest": _cmd_difftest,
     "profile": _cmd_profile,
     "cache": _cmd_cache,
+    "workloads": _cmd_workloads,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from repro.errors import DatasetError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

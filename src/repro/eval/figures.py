@@ -21,42 +21,26 @@ from repro.eval.runs import (
 )
 from repro.machine.context import Machine
 from repro.tensor.datasets import MATRIX_FIGURE_ORDER
+from repro.workloads import HEAVY_TRIMS  # noqa: F401 (re-export)
+from repro.workloads import figure_apps, figure_datasets
+
+#: Figure membership lives in the workload registry
+#: (:data:`repro.workloads.FIGURES`); these constants are derived views
+#: in the app-code convention the figure functions use.
 
 #: Figure 7 workloads (vs FlexMiner / TrieJax / GRAMER).
-FIG7_APPS = ("TC", "TM", "TT", "T", "4C", "5C")
-FIG7_GRAPHS = ("E", "F", "W", "M", "Y")
+FIG7_APPS = figure_apps("fig07")
+FIG7_GRAPHS = figure_datasets("fig07")
 
 #: Figure 8 workloads (vs CPU, all ten graphs).
-FIG8_APPS = ("TC", "TM", "TS", "T", "TT", "4C", "5C", "4CS", "5CS")
-FIG8_GRAPHS = ("G", "C", "B", "E", "F", "W", "M", "Y", "P", "L")
+FIG8_APPS = figure_apps("fig08")
+FIG8_GRAPHS = figure_datasets("fig08")
 
-FIG11_APPS = ("T", "4C", "5C", "TT", "TC", "TM")
-FIG11_GRAPHS = ("B", "E", "F", "W", "M", "Y")
+FIG11_APPS = figure_apps("fig11")
+FIG11_GRAPHS = figure_datasets("fig11")
 
-FIG12_APPS = ("TS", "T", "TC", "TM", "4C", "5C", "TT", "4CS", "5CS")
-FIG12_GRAPHS = ("B", "E", "F", "W")
-
-#: Per-(app, graph) scale trims for combinatorially explosive pairs.
-#: The trim factor multiplies the stand-in scale for that run only.
-# Trim factors are calibrated from a measured sweep so that every
-# (app, graph) pair runs in a few seconds of pure Python.  Clique and
-# tailed-triangle enumeration grow superlinearly on the dense or
-# hub-heavy stand-ins (F, W) and the large ones (M, Y, P, L).
-_CLIQUE_TRIMS = {"B": 0.4, "E": 0.3, "F": 0.2, "W": 0.1, "M": 0.35,
-                 "Y": 0.4, "P": 0.5, "L": 0.13}
-_TT_TRIMS = {"B": 0.15, "E": 0.15, "F": 0.15, "W": 0.09, "M": 0.2,
-             "L": 0.12, "G": 0.35, "Y": 0.35, "P": 0.35, "C": 0.6}
-_WEDGE_TRIMS = {"F": 0.4, "W": 0.3, "M": 0.35, "L": 0.3, "Y": 0.5,
-                "P": 0.5, "E": 0.55, "B": 0.55}
-HEAVY_TRIMS: dict[tuple[str, str], float] = {}
-for _app in ("4C", "4CS", "5C", "5CS"):
-    for _g, _f in _CLIQUE_TRIMS.items():
-        HEAVY_TRIMS[(_app, _g)] = _f
-for _g, _f in _TT_TRIMS.items():
-    HEAVY_TRIMS[("TT", _g)] = _f
-for _app in ("TC", "TM", "T", "TS"):
-    for _g, _f in _WEDGE_TRIMS.items():
-        HEAVY_TRIMS[(_app, _g)] = _f
+FIG12_APPS = figure_apps("fig12")
+FIG12_GRAPHS = figure_datasets("fig12")
 
 
 def _metrics(app: str, graph: str, scale: float) -> dict:
@@ -162,8 +146,8 @@ def fig08_summary(rows: list[dict]) -> dict:
 # Figures 9/10 — cycle breakdowns
 # ---------------------------------------------------------------------------
 
-FIG9_APPS = ("TC", "TM", "TS", "4C", "5C", "TT")
-FIG10_APPS = ("TC", "TM", "TS", "T", "4C", "5C", "4CS", "5CS", "TT")
+FIG9_APPS = figure_apps("fig09")
+FIG10_APPS = figure_apps("fig10")
 
 
 def fig09_rows(scale: float = 1.0, apps=FIG9_APPS,
@@ -255,7 +239,7 @@ def fig13_rows(scale: float = 1.0, apps=FIG12_APPS,
 # Figure 14 — stream length distributions
 # ---------------------------------------------------------------------------
 
-FIG14_LEFT_APPS = ("T", "TM", "TC", "4C", "5C", "TT")
+FIG14_LEFT_APPS = figure_apps("fig14l")
 FIG14_PERCENTILES = (10, 25, 50, 75, 90, 99)
 
 

@@ -1,11 +1,11 @@
 """Shared run collection with two-level caching.
 
-One GPM kernel run feeds many figures (speedups, breakdowns, SU/
-bandwidth sweeps, accelerator comparisons, stream-length CDFs), so each
-(app, graph, scale) is executed once; everything any figure needs is
-computed while the trace is alive.
-
-Two cache levels sit in front of the recording simulator:
+One kernel run feeds many figures (speedups, breakdowns, SU/bandwidth
+sweeps, accelerator comparisons, stream-length CDFs), so each
+(workload, dataset, scale) is executed once; everything any figure
+needs is computed while the trace is alive.  Recording and pricing
+live in the unified pipeline (:mod:`repro.workloads`); this module
+adds the two cache levels in front of it:
 
 * an in-process **bounded LRU** of finished metrics dicts (capacity via
   ``REPRO_RUN_CACHE_ENTRIES``, default 256) — repeated figure calls in
@@ -23,54 +23,13 @@ are the process-safe entry points the parallel engine
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.accel import (
-    FlexMinerModel,
-    GpuModel,
-    GramerModel,
-    TrieJaxModel,
-)
-from repro.accel.triejax import Unsupported
-from repro.arch.config import SparseCoreConfig
-from repro.arch.cpu import CpuModel
-from repro.arch.sparsecore import SparseCoreModel
-from repro.gpm import pattern as pat
-from repro.gpm.apps import run_app
-from repro.gpm.symmetry import redundancy_factor
-from repro.graph.datasets import load_graph, resolve
-from repro.machine.context import Machine
-from repro.perf.cache import (
-    LRUCache,
-    RunCache,
-    default_run_cache,
-    mem_cache_capacity,
-)
-
-#: SU counts of Figure 12 and bandwidths of Figure 13.
-SU_SWEEP = (1, 2, 4, 8, 16)
-BW_SWEEP = (2, 4, 8, 16, 32, 64)
-
-#: Pattern backing each app code (for redundancy factors) and whether
-#: the app is vertex-induced (TrieJax support check).
-_APP_PATTERNS = {
-    "T": (pat.triangle(), False),
-    "TS": (pat.triangle(), False),
-    "TC": (pat.wedge(), True),
-    "TM": (pat.wedge(), True),  # representative component
-    "TT": (pat.tailed_triangle(), True),
-    "4C": (pat.clique(4), False),
-    "4CS": (pat.clique(4), False),
-    "5C": (pat.clique(5), False),
-    "5CS": (pat.clique(5), False),
-}
+from repro.perf.cache import LRUCache, default_run_cache, mem_cache_capacity
+from repro.workloads import run_workload, workload_for_app
+from repro.workloads.pricing import _APP_PATTERNS  # noqa: F401 (re-export)
+from repro.workloads.pricing import BW_SWEEP, SU_SWEEP  # noqa: F401
 
 #: In-process metrics LRU (bounded; shared by GPM and tensor paths).
 _CACHE = LRUCache(mem_cache_capacity())
-
-#: Dataflow -> Figure 16 accelerator baseline, priced alongside each
-#: cached SpMSpM run.
-_SPMSPM_ACCELS = ("extensor", "outerspace", "gamma")
 
 
 def clear_run_cache(disk: bool = True) -> None:
@@ -84,273 +43,89 @@ def clear_run_cache(disk: bool = True) -> None:
 
 def gpm_run(app: str, graph_name: str, scale: float = 1.0):
     """Execute one app on one stand-in graph (uncached; returns AppRun)."""
+    from repro.gpm.apps import run_app
+    from repro.graph.datasets import load_graph
+
     graph = load_graph(graph_name, scale)
     return run_app(app, graph, record_lengths=True)
 
 
 # ---------------------------------------------------------------------------
-# GPM metrics
+# Pipeline wrappers (one per family, plus the unified entry)
 # ---------------------------------------------------------------------------
 
 
-def _gpm_cache_key(cache: RunCache, app: str, graph_key: str,
-                   scale: float) -> str:
-    spec = resolve(graph_key)
-    return cache.key("gpm", {
-        "app": app,
-        "graph": spec.key,
-        "n": spec.n,
-        "mean_degree": spec.mean_degree,
-        "max_degree": spec.max_degree,
-        "seed": spec.seed,
-        "scale": scale,
-    })
+def compute_workload_metrics(workload, dataset: str | None = None,
+                             scale: float = 1.0, *, cache=None,
+                             probe=None) -> dict:
+    """Disk-cache-aware metrics for any registered workload.
 
-
-def _gpm_metrics_from_trace(app: str, graph_key: str, trace, *,
-                            count: int, num_vertices: int,
-                            lengths: np.ndarray) -> dict:
-    """Price one recorded run under every model a figure needs.
-
-    Shared by the cold (just recorded) and warm (loaded from disk)
-    paths, so cached metrics are bit-identical by construction.
-    """
-    cpu = CpuModel().cost(trace)
-    sc = SparseCoreModel().cost(trace)
-    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
-
-    metrics: dict = {
-        "app": app,
-        "graph": graph_key,
-        "count": count,
-        "num_ops": trace.num_ops,
-        "cpu_cycles": cpu.total_cycles,
-        "sc_cycles": sc.total_cycles,
-        "sc_cycles_1su": one_su.total_cycles,
-        "speedup_vs_cpu": sc.speedup_over(cpu),
-        "cpu_breakdown": cpu.breakdown(),
-        "sc_breakdown": sc.breakdown(),
-        "su_sweep": {
-            n: SparseCoreModel(SparseCoreConfig(num_sus=n)).cost(trace)
-            .total_cycles
-            for n in SU_SWEEP
-        },
-        "bw_sweep": {
-            bw: SparseCoreModel(SparseCoreConfig(scache_bandwidth=bw))
-            .cost(trace).total_cycles
-            for bw in BW_SWEEP
-        },
-        "stream_lengths": np.asarray(lengths, dtype=np.int64),
-    }
-
-    pattern_info = _APP_PATTERNS.get(app)
-    if pattern_info is not None:
-        pattern, vertex_induced = pattern_info
-        redundancy = redundancy_factor(pattern)
-        # One compute unit per accelerator vs one SU (Section 6.3.1).
-        metrics["sc_cycles_1su_1cu"] = one_su.total_cycles
-        metrics["flexminer_cycles"] = FlexMinerModel().cost(trace) \
-            .total_cycles
-        try:
-            metrics["triejax_cycles"] = TrieJaxModel(
-                num_vertices, redundancy, vertex_induced
-            ).cost(trace).total_cycles
-        except Unsupported:
-            metrics["triejax_cycles"] = None
-        metrics["gramer_cycles"] = GramerModel().cost(trace).total_cycles
-        metrics["gpu_cycles_no_breaking"] = GpuModel(
-            redundancy, symmetry_breaking=False).cost(trace).total_cycles
-        metrics["gpu_cycles_breaking"] = GpuModel(
-            redundancy, symmetry_breaking=True).cost(trace).total_cycles
-
-    return metrics
-
-
-def compute_gpm_metrics(app: str, graph_name: str, scale: float = 1.0, *,
-                        cache: RunCache | None = None, probe=None) -> dict:
-    """Disk-cache-aware metrics computation (no in-memory memoization).
-
-    On a cache hit only the stored trace is re-priced; the per-op
-    recording simulation is skipped entirely.  ``probe`` (a
+    The process-safe unified entry point: resolves the workload (by
+    name or spec), runs the shared pipeline, and returns its metrics
+    dict.  On a cache hit only the stored trace is re-priced; the
+    per-op recording simulation is skipped entirely.  ``probe`` (a
     :class:`~repro.obs.probe.Probe`) observes cold recordings — cached
     runs execute nothing, so they contribute no counters.
     """
-    spec = resolve(graph_name)
-    key = _gpm_cache_key(cache, app, spec.key, scale) if cache else None
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            return _gpm_metrics_from_trace(
-                app, spec.key, hit.trace,
-                count=int(hit.meta["count"]),
-                num_vertices=int(hit.meta["num_vertices"]),
-                lengths=hit.lengths,
-            )
-    graph = load_graph(spec.key, scale)
-    machine = Machine(name=f"{app}:{spec.key}", record_lengths=True,
-                      probe=probe)
-    run = run_app(app, graph, machine)
-    trace = run.trace.freeze()
-    lengths = np.asarray(machine.length_samples, dtype=np.int64)
-    if cache is not None:
-        cache.put(key, trace, lengths=lengths, meta={
-            "kind": "gpm", "app": app, "graph": spec.key, "scale": scale,
-            "count": run.count, "num_vertices": graph.num_vertices,
-        })
-    return _gpm_metrics_from_trace(app, spec.key, trace, count=run.count,
-                                   num_vertices=graph.num_vertices,
-                                   lengths=lengths)
+    return run_workload(workload, dataset, scale,
+                        cache=cache, probe=probe).metrics
+
+
+def compute_gpm_metrics(app: str, graph_name: str, scale: float = 1.0, *,
+                        cache=None, probe=None) -> dict:
+    """GPM metrics by app code (thin wrapper over the pipeline)."""
+    return compute_workload_metrics(workload_for_app("gpm", app),
+                                    graph_name, scale,
+                                    cache=cache, probe=probe)
+
+
+def compute_spmspm_metrics(matrix_name: str, dataflow: str, *,
+                           cache=None, probe=None) -> dict:
+    """SpMSpM (C = A x A) metrics for one matrix/dataflow pair."""
+    return compute_workload_metrics(workload_for_app("spmspm", dataflow),
+                                    matrix_name, cache=cache, probe=probe)
+
+
+def compute_tensor_metrics(tensor_name: str, kernel: str, *,
+                           cache=None, probe=None) -> dict:
+    """TTV/TTM metrics for one CSF tensor (Figure 15(b))."""
+    if kernel not in ("ttv", "ttm"):
+        raise ValueError(f"unknown tensor kernel {kernel!r}")
+    return compute_workload_metrics(workload_for_app("tensor", kernel),
+                                    tensor_name, cache=cache, probe=probe)
+
+
+# ---------------------------------------------------------------------------
+# In-process memoized variants (what the figure functions call)
+# ---------------------------------------------------------------------------
+
+
+def _memoized(memo_key: tuple, workload, dataset: str,
+              scale: float = 1.0) -> dict:
+    hit = _CACHE.get(memo_key)
+    if hit is not None:
+        return hit
+    metrics = compute_workload_metrics(workload, dataset, scale,
+                                       cache=default_run_cache())
+    _CACHE.put(memo_key, metrics)
+    return metrics
 
 
 def gpm_metrics(app: str, graph_name: str, scale: float = 1.0) -> dict:
     """All per-run metrics any figure needs, computed once and cached."""
+    from repro.graph.datasets import resolve
+
     key = ("gpm", app, resolve(graph_name).key, scale)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    metrics = compute_gpm_metrics(app, graph_name, scale,
-                                  cache=default_run_cache())
-    _CACHE.put(key, metrics)
-    return metrics
-
-
-# ---------------------------------------------------------------------------
-# Tensor metrics (Figures 15/16)
-# ---------------------------------------------------------------------------
-
-
-def _tensor_operands(tensor):
-    """The Figure 15 contraction operands, drawn from one rng stream.
-
-    TTV consumes the vector draw and TTM the subsequent matrix draws of
-    the *same* ``default_rng(7)`` sequence — reproducing the original
-    figure runner bit-exactly for both kernels.
-    """
-    from repro.tensor.matrix import SparseMatrix
-
-    rng = np.random.default_rng(7)
-    vec = rng.random(tensor.shape[2])
-    dense = (rng.random((24, tensor.shape[2])) < 0.25) \
-        * rng.uniform(0.1, 1.0, (24, tensor.shape[2]))
-    return vec, SparseMatrix.from_dense(dense)
-
-
-def _tensor_common_metrics(trace, extra: dict) -> dict:
-    cpu = CpuModel().cost(trace)
-    sc = SparseCoreModel().cost(trace)
-    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
-    return {
-        "num_ops": trace.num_ops,
-        "cpu_cycles": cpu.total_cycles,
-        "sc_cycles": sc.total_cycles,
-        "sc_cycles_1su": one_su.total_cycles,
-        "speedup_vs_cpu": sc.speedup_over(cpu),
-        **extra,
-    }
-
-
-def _spmspm_accel_cycles(trace, dataflow: str) -> dict:
-    """Figure 16 accelerator baseline priced on this dataflow's trace."""
-    from repro.accel import ExTensorModel, GammaModel, OuterSpaceModel
-
-    accel = {"inner": ExTensorModel(), "outer": OuterSpaceModel(),
-             "gustavson": GammaModel()}[dataflow]
-    return {"accel_name": accel.name,
-            "accel_cycles": accel.cost(trace).total_cycles}
-
-
-def compute_spmspm_metrics(matrix_name: str, dataflow: str, *,
-                           cache: RunCache | None = None,
-                           probe=None) -> dict:
-    """SpMSpM (C = A x A) metrics for one matrix/dataflow pair."""
-    from repro.tensor.datasets import load_matrix, resolve_matrix
-    from repro.tensorops.taco import compile_expression
-
-    spec = resolve_matrix(matrix_name)
-    key = cache.key("spmspm", {
-        "matrix": spec.key, "n": spec.n, "nnz_per_row": spec.nnz_per_row,
-        "structure": spec.structure, "seed": spec.seed,
-        "dataflow": dataflow,
-    }) if cache else None
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            return _tensor_common_metrics(hit.trace, {
-                "matrix": spec.key, "dataflow": dataflow,
-                **_spmspm_accel_cycles(hit.trace, dataflow),
-            })
-    mat = load_matrix(spec.key)
-    machine = Machine(name=f"spmspm-{dataflow}:{spec.key}", probe=probe)
-    kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
-    kernel.run(mat, mat, machine)
-    trace = machine.trace.freeze()
-    if cache is not None:
-        cache.put(key, trace, meta={
-            "kind": "spmspm", "matrix": spec.key, "dataflow": dataflow,
-        })
-    return _tensor_common_metrics(trace, {
-        "matrix": spec.key, "dataflow": dataflow,
-        **_spmspm_accel_cycles(trace, dataflow),
-    })
-
-
-def compute_tensor_metrics(tensor_name: str, kernel: str, *,
-                           cache: RunCache | None = None,
-                           probe=None) -> dict:
-    """TTV/TTM metrics for one CSF tensor (Figure 15(b))."""
-    from repro.tensor.datasets import load_tensor, resolve_tensor
-    from repro.tensorops.taco import compile_expression
-
-    if kernel not in ("ttv", "ttm"):
-        raise ValueError(f"unknown tensor kernel {kernel!r}")
-    spec = resolve_tensor(tensor_name)
-    key = cache.key("tensor", {
-        "tensor": spec.key, "shape": list(spec.shape),
-        "density": spec.density, "seed": spec.seed,
-        "kernel": kernel, "operand_seed": 7,
-    }) if cache else None
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            return _tensor_common_metrics(
-                hit.trace, {"tensor": spec.key, "kernel": kernel})
-    tensor = load_tensor(spec.key)
-    vec, mat_b = _tensor_operands(tensor)
-    machine = Machine(name=f"{kernel}:{spec.key}", probe=probe)
-    if kernel == "ttv":
-        compile_expression("Z(i,j) = A(i,j,k) * B(k)").run(
-            tensor, vec, machine)
-    else:
-        compile_expression("Z(i,j,k) = A(i,j,l) * B(k,l)").run(
-            tensor, mat_b, machine)
-    trace = machine.trace.freeze()
-    if cache is not None:
-        cache.put(key, trace, meta={
-            "kind": "tensor", "tensor": spec.key, "kernel": kernel,
-        })
-    return _tensor_common_metrics(
-        trace, {"tensor": spec.key, "kernel": kernel})
+    return _memoized(key, workload_for_app("gpm", app), graph_name, scale)
 
 
 def spmspm_metrics(matrix_name: str, dataflow: str) -> dict:
     """LRU + disk-cached :func:`compute_spmspm_metrics`."""
-    key = ("spmspm", matrix_name, dataflow)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    metrics = compute_spmspm_metrics(matrix_name, dataflow,
-                                     cache=default_run_cache())
-    _CACHE.put(key, metrics)
-    return metrics
+    return _memoized(("spmspm", matrix_name, dataflow),
+                     workload_for_app("spmspm", dataflow), matrix_name)
 
 
 def tensor_metrics(tensor_name: str, kernel: str) -> dict:
     """LRU + disk-cached :func:`compute_tensor_metrics`."""
-    key = ("tensor", tensor_name, kernel)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    metrics = compute_tensor_metrics(tensor_name, kernel,
-                                     cache=default_run_cache())
-    _CACHE.put(key, metrics)
-    return metrics
+    return _memoized(("tensor", tensor_name, kernel),
+                     workload_for_app("tensor", kernel), tensor_name)

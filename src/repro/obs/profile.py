@@ -1,6 +1,7 @@
 """Profiled workload runs: ``python -m repro profile <workload>``.
 
-Runs one registered workload (a GPM pattern or a tensor kernel) on a
+Runs one workload from the unified registry (:mod:`repro.workloads`)
+through the shared pipeline on a
 :class:`~repro.machine.context.Machine` carrying a live
 :class:`~repro.obs.probe.Probe`, then assembles the full observability
 picture:
@@ -12,9 +13,9 @@ picture:
   checked against the cost model's total on every run,
 * the CPU/SparseCore cycle reports for context.
 
-This module imports the GPM and tensor stacks, so it is *not* imported
-from ``repro.obs.__init__`` — the arch layer depends on the leaf obs
-modules only.
+This module imports the GPM and tensor stacks (via the pipeline), so
+it is *not* imported from ``repro.obs.__init__`` — the arch layer
+depends on the leaf obs modules only.
 """
 
 from __future__ import annotations
@@ -22,14 +23,19 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable
 
-from repro.machine.context import Machine
 from repro.obs.attribution import Attribution, attribute
 from repro.obs.counters import Counters
 from repro.obs.probe import Probe
 from repro.obs.schema import to_jsonable, validate_chrome_trace
 from repro.obs.tracer import Tracer
+from repro.workloads import (
+    SMOKE_WORKLOADS,
+    dataset_for,
+    get_workload,
+    run_workload,
+    workload_names,
+)
 
 #: JSON schema version of ``ProfileResult.to_json``.
 PROFILE_SCHEMA_VERSION = 1
@@ -42,17 +48,6 @@ THREAD_NAMES = {
 }
 
 
-@dataclass(frozen=True)
-class WorkloadSpec:
-    """One profileable workload: name, family, and a runner."""
-
-    name: str
-    family: str  # "gpm" | "tensor"
-    description: str
-    #: runner(machine, args) -> short result summary (count, nnz, ...)
-    runner: Callable[[Machine, "ProfileArgs"], object]
-
-
 @dataclass
 class ProfileArgs:
     """Dataset knobs shared by all workloads (CLI flags)."""
@@ -62,97 +57,6 @@ class ProfileArgs:
     tensor: str = "Ch"
     scale: float = 1.0
     max_events: int = 200_000
-
-
-def _gpm(app_code: str):
-    def runner(machine: Machine, args: ProfileArgs):
-        from repro.gpm.apps import run_app
-        from repro.graph.datasets import load_graph
-
-        graph = load_graph(args.graph, args.scale)
-        run = run_app(app_code, graph, machine)
-        return {"graph": str(graph), "count": run.count}
-
-    return runner
-
-
-def _spmspm(dataflow: str):
-    def runner(machine: Machine, args: ProfileArgs):
-        from repro.tensor.datasets import load_matrix
-        from repro.tensorops.taco import compile_expression
-
-        mat = load_matrix(args.matrix)
-        kernel = compile_expression("C(i,j) = A(i,k) * B(k,j)", dataflow)
-        result = kernel.run(mat, mat, machine)
-        return {"matrix": str(mat), "C": str(result)}
-
-    return runner
-
-
-def _ttv(machine: Machine, args: ProfileArgs):
-    import numpy as np
-
-    from repro.tensor.datasets import load_tensor
-    from repro.tensorops.taco import compile_expression
-
-    tensor = load_tensor(args.tensor)
-    rng = np.random.default_rng(7)
-    result = compile_expression("Z(i,j) = A(i,j,k) * B(k)").run(
-        tensor, rng.random(tensor.shape[2]), machine)
-    return {"tensor": str(tensor), "Z": str(result)}
-
-
-def _ttm(machine: Machine, args: ProfileArgs):
-    import numpy as np
-
-    from repro.tensor.datasets import load_tensor
-    from repro.tensor.matrix import SparseMatrix
-    from repro.tensorops.taco import compile_expression
-
-    tensor = load_tensor(args.tensor)
-    rng = np.random.default_rng(7)
-    dense = (rng.random((24, tensor.shape[2])) < 0.25) \
-        * rng.uniform(0.1, 1.0, (24, tensor.shape[2]))
-    b = SparseMatrix.from_dense(dense)
-    result = compile_expression("Z(i,j,k) = A(i,j,l) * B(k,l)").run(
-        tensor, b, machine)
-    return {"tensor": str(tensor), "Z": str(result)}
-
-
-WORKLOADS: dict[str, WorkloadSpec] = {
-    spec.name: spec
-    for spec in [
-        WorkloadSpec("triangle", "gpm",
-                     "triangle counting with S_NESTINTER (app T)",
-                     _gpm("T")),
-        WorkloadSpec("triangle-flat", "gpm",
-                     "triangle counting without nesting (app TS)",
-                     _gpm("TS")),
-        WorkloadSpec("three-chain", "gpm",
-                     "three-chain counting (app TC)", _gpm("TC")),
-        WorkloadSpec("tailed-triangle", "gpm",
-                     "tailed-triangle counting (app TT)", _gpm("TT")),
-        WorkloadSpec("4clique", "gpm", "4-clique counting (app 4C)",
-                     _gpm("4C")),
-        WorkloadSpec("5clique", "gpm", "5-clique counting (app 5C)",
-                     _gpm("5C")),
-        WorkloadSpec("spmspm", "tensor",
-                     "SpMSpM, Gustavson dataflow (taco-compiled)",
-                     _spmspm("gustavson")),
-        WorkloadSpec("spmspm-inner", "tensor",
-                     "SpMSpM, inner-product dataflow", _spmspm("inner")),
-        WorkloadSpec("spmspm-outer", "tensor",
-                     "SpMSpM, outer-product dataflow", _spmspm("outer")),
-        WorkloadSpec("ttv", "tensor", "tensor-times-vector on a CSF tensor",
-                     _ttv),
-        WorkloadSpec("ttm", "tensor", "tensor-times-matrix on a CSF tensor",
-                     _ttm),
-    ]
-}
-
-
-def workload_names() -> list[str]:
-    return list(WORKLOADS)
 
 
 @dataclass
@@ -251,46 +155,44 @@ class ProfileResult:
 
 def profile_workload(name: str, args: ProfileArgs | None = None,
                      *, check: bool = True) -> ProfileResult:
-    """Run one workload under a probe and assemble its profile.
+    """Run one registered workload under a probe and assemble its profile.
 
-    With ``check=True`` (the default, and what the CLI and CI use) the
+    The workload is resolved in the unified registry and executed
+    through the shared pipeline (no disk cache: a profile always
+    records, so the counters observe the full run).  With
+    ``check=True`` (the default, and what the CLI and CI use) the
     attribution is asserted to sum to the model total and the exported
     Chrome trace is validated against the documented schema — both
     raise on violation rather than report quietly.
     """
-    if name not in WORKLOADS:
-        raise KeyError(
-            f"unknown workload {name!r}; known: {workload_names()}")
-    spec = WORKLOADS[name]
+    spec = get_workload(name)
     args = args or ProfileArgs()
+    dataset = dataset_for(spec, graph=args.graph, matrix=args.matrix,
+                          tensor=args.tensor)
     probe = Probe.collecting(max_events=args.max_events)
-    machine = Machine(name=name, probe=probe)
     start = time.perf_counter()
-    result = spec.runner(machine, args)
+    rec = run_workload(spec, dataset, args.scale, cache=None, probe=probe,
+                       price=False)
     wall = time.perf_counter() - start
 
     from repro.arch.cpu import CpuModel
     from repro.arch.sparsecore import SparseCoreModel
 
-    model = SparseCoreModel(machine.config)
-    sc = model.cost(machine.trace, counters=probe.counters)
-    cpu = CpuModel().cost(machine.trace)
-    attr = attribute(machine.trace, model, workload=name)
+    model = SparseCoreModel()
+    sc = model.cost(rec.trace, counters=probe.counters)
+    cpu = CpuModel().cost(rec.trace)
+    attr = attribute(rec.trace, model, workload=name)
     chrome = probe.tracer.to_chrome(process_name=f"sparsecore:{name}",
                                     thread_names=THREAD_NAMES)
     if check:
         attr.check()
         validate_chrome_trace(chrome)
     return ProfileResult(
-        workload=name, family=spec.family, result=result,
+        workload=name, family=spec.family, result=rec.summary,
         counters=probe.counters, tracer=probe.tracer, attribution=attr,
         cpu_report=cpu, sc_report=sc, chrome_trace=chrome,
         wall_seconds=wall,
     )
-
-
-#: The CI smoke pair: one GPM pattern and one SpMSpM kernel.
-SMOKE_WORKLOADS = ("triangle", "spmspm")
 
 
 def smoke(args: ProfileArgs | None = None) -> list[ProfileResult]:
@@ -333,7 +235,6 @@ def write_chrome_trace(result: ProfileResult, path) -> None:
 
 __all__ = [
     "PROFILE_SCHEMA_VERSION", "ProfileArgs", "ProfileResult",
-    "SMOKE_WORKLOADS", "THREAD_NAMES", "WORKLOADS", "WorkloadSpec",
-    "profile_many", "profile_workload", "smoke", "workload_names",
-    "write_chrome_trace",
+    "SMOKE_WORKLOADS", "THREAD_NAMES", "profile_many", "profile_workload",
+    "smoke", "workload_names", "write_chrome_trace",
 ]

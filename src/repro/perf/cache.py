@@ -38,9 +38,12 @@ import numpy as np
 
 from repro.arch.trace import _ARRAY_FIELDS, _SCALAR_FIELDS, FrozenTrace
 
-#: Bump whenever the trace layout or recording semantics change in a
-#: way that invalidates previously stored runs.
-CACHE_FORMAT_VERSION = 1
+#: Bump whenever the trace layout, recording semantics, or key schema
+#: change in a way that invalidates previously stored runs.  v2:
+#: spec-derived fingerprints from the unified workload pipeline
+#: (:func:`repro.workloads.run_fingerprint`) replaced the per-family
+#: key builders.
+CACHE_FORMAT_VERSION = 2
 
 #: Sidecar schema version (the JSON next to each ``.npz``).
 SIDECAR_SCHEMA_VERSION = 1

@@ -57,51 +57,18 @@ def job_key(job: RunJob) -> str:
 def figure_suite_jobs(scale: float = 1.0, *, smoke: bool = False) -> list[RunJob]:
     """Every distinct run behind the Section 6 figure suite.
 
-    GPM jobs are deduplicated across Figures 7-14 (the per-pair heavy
-    trims make the same (app, graph) appear at one effective scale);
-    SpMSpM and TTV/TTM jobs cover Figures 15 and 16.  ``smoke`` keeps
-    only a small representative subset (used by CI prewarm).
+    Generated from the workload registry's figure tags
+    (:data:`repro.workloads.FIGURES`) and deduplicated across figures
+    (the per-pair heavy trims make the same (workload, dataset) pair
+    appear at one effective scale).  ``smoke`` keeps only the small
+    representative :data:`repro.workloads.SMOKE_SUITE` (CI prewarm).
     """
-    from repro.eval import figures as F
+    from repro.workloads import figure_suite_runs
 
     jobs: dict[str, RunJob] = {}
-
-    def add(job: RunJob) -> None:
+    for spec, dataset, eff_scale in figure_suite_runs(scale, smoke=smoke):
+        job = RunJob(spec.family, spec.app, dataset, eff_scale)
         jobs.setdefault(job_key(job), job)
-
-    if smoke:
-        for app in ("T", "TC"):
-            add(RunJob("gpm", app, "C",
-                       round(scale * F.HEAVY_TRIMS.get((app, "C"), 1.0), 4)))
-        add(RunJob("spmspm", "inner", "CA"))
-        add(RunJob("tensor", "ttv", "Ch"))
-        return list(jobs.values())
-
-    pairs = set()
-    for apps, graphs in (
-        (F.FIG7_APPS, F.FIG7_GRAPHS),
-        (F.FIG8_APPS, F.FIG8_GRAPHS),
-        (F.FIG9_APPS, F.FIG8_GRAPHS),
-        (F.FIG10_APPS, F.FIG8_GRAPHS),
-        (F.FIG11_APPS, F.FIG11_GRAPHS),
-        (F.FIG12_APPS, F.FIG12_GRAPHS),
-        (F.FIG14_LEFT_APPS, ("E",)),
-        (("T",), F.FIG8_GRAPHS),  # Figure 14 right
-    ):
-        pairs.update((a, g) for a in apps for g in graphs)
-    for app, graph in sorted(pairs):
-        trim = F.HEAVY_TRIMS.get((app, graph), 1.0)
-        add(RunJob("gpm", app, graph, round(scale * trim, 4)))
-
-    from repro.tensor.datasets import MATRIX_FIGURE_ORDER
-
-    fig16 = ("C204", "L", "G", "CA", "H")
-    for code in tuple(MATRIX_FIGURE_ORDER) + fig16:
-        for dataflow in ("inner", "outer", "gustavson"):
-            add(RunJob("spmspm", dataflow, code))
-    for code in ("Ch", "U"):
-        for kernel in ("ttv", "ttm"):
-            add(RunJob("tensor", kernel, code))
     return list(jobs.values())
 
 
@@ -113,9 +80,9 @@ def _execute_job(payload) -> tuple[str, dict, dict | None]:
     path and pool workers.
     """
     job, cache_root, use_disk_cache, collect_counters = payload
-    from repro.eval import runs
     from repro.obs.probe import Probe
     from repro.perf.cache import RunCache, default_run_cache
+    from repro.workloads import run_workload, workload_for_app
 
     if not use_disk_cache:
         cache = None
@@ -125,15 +92,9 @@ def _execute_job(payload) -> tuple[str, dict, dict | None]:
         cache = default_run_cache()
     probe = Probe(counters=Counters()) if collect_counters else None
 
-    if job.kind == "gpm":
-        metrics = runs.compute_gpm_metrics(job.app, job.dataset, job.scale,
-                                           cache=cache, probe=probe)
-    elif job.kind == "spmspm":
-        metrics = runs.compute_spmspm_metrics(job.dataset, job.app,
-                                              cache=cache, probe=probe)
-    else:
-        metrics = runs.compute_tensor_metrics(job.dataset, job.app,
-                                              cache=cache, probe=probe)
+    spec = workload_for_app(job.kind, job.app)
+    metrics = run_workload(spec, job.dataset, job.scale,
+                           cache=cache, probe=probe).metrics
     counters = probe.counters.flat() if collect_counters else None
     return job_key(job), metrics, counters
 

@@ -1,0 +1,46 @@
+"""Unified workload registry and run pipeline.
+
+One declarative :class:`WorkloadSpec` per workload, one
+:data:`REGISTRY` of them, and one :func:`run_workload` pipeline
+(resolve dataset -> record on a Machine -> freeze -> price under the
+CPU + SparseCore models -> metrics dict) shared by the evaluation
+figures, the parallel engine, the profiler, and the CLI.
+"""
+
+from repro.workloads.pipeline import (
+    RunResult,
+    dataset_params,
+    run_fingerprint,
+    run_workload,
+)
+from repro.workloads.pricing import (
+    BW_SWEEP,
+    OPERAND_SEED,
+    SU_SWEEP,
+    price_run,
+)
+from repro.workloads.registry import (
+    FIGURES,
+    HEAVY_TRIMS,
+    REGISTRY,
+    SMOKE_SUITE,
+    SMOKE_WORKLOADS,
+    effective_scale,
+    figure_apps,
+    figure_datasets,
+    figure_suite_runs,
+    figure_workloads,
+    get_workload,
+    workload_for_app,
+    workload_names,
+)
+from repro.workloads.spec import WorkloadSpec, dataset_for
+
+__all__ = [
+    "BW_SWEEP", "FIGURES", "HEAVY_TRIMS", "OPERAND_SEED", "REGISTRY",
+    "RunResult", "SMOKE_SUITE", "SMOKE_WORKLOADS", "SU_SWEEP",
+    "WorkloadSpec", "dataset_for", "dataset_params", "effective_scale",
+    "figure_apps", "figure_datasets", "figure_suite_runs",
+    "figure_workloads", "get_workload", "price_run", "run_fingerprint",
+    "run_workload", "workload_for_app", "workload_names",
+]

@@ -1,0 +1,170 @@
+"""Pricing one recorded run under every model a figure needs.
+
+The paper's methodology records each workload **once** and re-costs the
+same trace under every machine model (Section 6.1).  These functions
+are the single pricing path: the cold (just recorded) and warm (loaded
+from the disk cache) pipeline branches both call them on the frozen
+trace, so cached metrics are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import (
+    FlexMinerModel,
+    GpuModel,
+    GramerModel,
+    TrieJaxModel,
+)
+from repro.accel.triejax import Unsupported
+from repro.arch.config import SparseCoreConfig
+from repro.arch.cpu import CpuModel
+from repro.arch.sparsecore import SparseCoreModel
+from repro.gpm import pattern as pat
+from repro.gpm.symmetry import redundancy_factor
+
+#: SU counts of Figure 12 and bandwidths of Figure 13.
+SU_SWEEP = (1, 2, 4, 8, 16)
+BW_SWEEP = (2, 4, 8, 16, 32, 64)
+
+#: Pattern backing each app code (for redundancy factors) and whether
+#: the app is vertex-induced (TrieJax support check).
+_APP_PATTERNS = {
+    "T": (pat.triangle(), False),
+    "TS": (pat.triangle(), False),
+    "TC": (pat.wedge(), True),
+    "TM": (pat.wedge(), True),  # representative component
+    "TT": (pat.tailed_triangle(), True),
+    "4C": (pat.clique(4), False),
+    "4CS": (pat.clique(4), False),
+    "5C": (pat.clique(5), False),
+    "5CS": (pat.clique(5), False),
+}
+
+#: Seed of the TTV vector / TTM matrix operand draws (Figure 15).
+OPERAND_SEED = 7
+
+
+def gpm_metrics_from_trace(app: str, graph_key: str, trace, *,
+                           count: int, num_vertices: int,
+                           lengths: np.ndarray) -> dict:
+    """Everything any GPM figure needs from one recorded run."""
+    cpu = CpuModel().cost(trace)
+    sc = SparseCoreModel().cost(trace)
+    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
+
+    metrics: dict = {
+        "app": app,
+        "graph": graph_key,
+        "count": count,
+        "num_ops": trace.num_ops,
+        "cpu_cycles": cpu.total_cycles,
+        "sc_cycles": sc.total_cycles,
+        "sc_cycles_1su": one_su.total_cycles,
+        "speedup_vs_cpu": sc.speedup_over(cpu),
+        "cpu_breakdown": cpu.breakdown(),
+        "sc_breakdown": sc.breakdown(),
+        "su_sweep": {
+            n: SparseCoreModel(SparseCoreConfig(num_sus=n)).cost(trace)
+            .total_cycles
+            for n in SU_SWEEP
+        },
+        "bw_sweep": {
+            bw: SparseCoreModel(SparseCoreConfig(scache_bandwidth=bw))
+            .cost(trace).total_cycles
+            for bw in BW_SWEEP
+        },
+        "stream_lengths": np.asarray(lengths, dtype=np.int64),
+    }
+
+    pattern_info = _APP_PATTERNS.get(app)
+    if pattern_info is not None:
+        pattern, vertex_induced = pattern_info
+        redundancy = redundancy_factor(pattern)
+        # One compute unit per accelerator vs one SU (Section 6.3.1).
+        metrics["sc_cycles_1su_1cu"] = one_su.total_cycles
+        metrics["flexminer_cycles"] = FlexMinerModel().cost(trace) \
+            .total_cycles
+        try:
+            metrics["triejax_cycles"] = TrieJaxModel(
+                num_vertices, redundancy, vertex_induced
+            ).cost(trace).total_cycles
+        except Unsupported:
+            metrics["triejax_cycles"] = None
+        metrics["gramer_cycles"] = GramerModel().cost(trace).total_cycles
+        metrics["gpu_cycles_no_breaking"] = GpuModel(
+            redundancy, symmetry_breaking=False).cost(trace).total_cycles
+        metrics["gpu_cycles_breaking"] = GpuModel(
+            redundancy, symmetry_breaking=True).cost(trace).total_cycles
+
+    return metrics
+
+
+def tensor_common_metrics(trace, extra: dict) -> dict:
+    """CPU/SparseCore pricing shared by SpMSpM and TTV/TTM runs."""
+    cpu = CpuModel().cost(trace)
+    sc = SparseCoreModel().cost(trace)
+    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
+    return {
+        "num_ops": trace.num_ops,
+        "cpu_cycles": cpu.total_cycles,
+        "sc_cycles": sc.total_cycles,
+        "sc_cycles_1su": one_su.total_cycles,
+        "speedup_vs_cpu": sc.speedup_over(cpu),
+        **extra,
+    }
+
+
+def spmspm_accel_cycles(trace, dataflow: str) -> dict:
+    """Figure 16 accelerator baseline priced on this dataflow's trace."""
+    from repro.accel import ExTensorModel, GammaModel, OuterSpaceModel
+
+    accel = {"inner": ExTensorModel(), "outer": OuterSpaceModel(),
+             "gustavson": GammaModel()}[dataflow]
+    return {"accel_name": accel.name,
+            "accel_cycles": accel.cost(trace).total_cycles}
+
+
+def tensor_operands(tensor):
+    """The Figure 15 contraction operands, drawn from one rng stream.
+
+    TTV consumes the vector draw and TTM the subsequent matrix draws of
+    the *same* ``default_rng(OPERAND_SEED)`` sequence — reproducing the
+    original figure runner bit-exactly for both kernels.
+    """
+    from repro.tensor.matrix import SparseMatrix
+
+    rng = np.random.default_rng(OPERAND_SEED)
+    vec = rng.random(tensor.shape[2])
+    dense = (rng.random((24, tensor.shape[2])) < 0.25) \
+        * rng.uniform(0.1, 1.0, (24, tensor.shape[2]))
+    return vec, SparseMatrix.from_dense(dense)
+
+
+def price_run(spec, dataset_key: str, trace, *, lengths=None,
+              meta: dict | None = None) -> dict:
+    """The family-dispatched metrics dict for one frozen trace."""
+    meta = meta or {}
+    if spec.family == "gpm":
+        return gpm_metrics_from_trace(
+            spec.app, dataset_key, trace,
+            count=int(meta["count"]),
+            num_vertices=int(meta["num_vertices"]),
+            lengths=lengths if lengths is not None
+            else np.empty(0, dtype=np.int64),
+        )
+    if spec.family == "spmspm":
+        return tensor_common_metrics(trace, {
+            "matrix": dataset_key, "dataflow": spec.app,
+            **spmspm_accel_cycles(trace, spec.app),
+        })
+    return tensor_common_metrics(
+        trace, {"tensor": dataset_key, "kernel": spec.app})
+
+
+__all__ = [
+    "BW_SWEEP", "OPERAND_SEED", "SU_SWEEP", "gpm_metrics_from_trace",
+    "price_run", "spmspm_accel_cycles", "tensor_common_metrics",
+    "tensor_operands",
+]

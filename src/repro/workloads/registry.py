@@ -1,0 +1,233 @@
+"""The central workload registry and figure-suite matrix.
+
+Exactly one place defines which workloads exist, which paper figures
+each appears in, and which per-(app, graph) scale trims keep the
+pure-Python harness tractable.  ``repro.eval.figures`` derives its
+``FIG*_APPS``/``FIG*_GRAPHS`` constants from here,
+``repro.perf.engine`` generates the figure-suite job list from here,
+``repro.obs.profile`` profiles any registered spec, and the CLI lists
+and resolves workloads through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def _spec(name, family, app, description, kind, default, **kw):
+    return WorkloadSpec(name, family, app, description, kind, default, **kw)
+
+
+#: Registry entries in stable listing order (figures filled in below).
+_BASE_SPECS = [
+    _spec("triangle", "gpm", "T",
+          "triangle counting with S_NESTINTER (app T)", "graph", "citeseer"),
+    _spec("triangle-flat", "gpm", "TS",
+          "triangle counting without nesting (app TS)", "graph", "citeseer"),
+    _spec("three-chain", "gpm", "TC",
+          "three-chain counting (app TC)", "graph", "citeseer"),
+    _spec("three-motif", "gpm", "TM",
+          "3-motif counting (app TM)", "graph", "citeseer"),
+    _spec("tailed-triangle", "gpm", "TT",
+          "tailed-triangle counting (app TT)", "graph", "citeseer"),
+    _spec("4clique", "gpm", "4C", "4-clique counting (app 4C)",
+          "graph", "citeseer"),
+    _spec("4clique-flat", "gpm", "4CS",
+          "4-clique counting without nesting (app 4CS)", "graph", "citeseer"),
+    _spec("5clique", "gpm", "5C", "5-clique counting (app 5C)",
+          "graph", "citeseer"),
+    _spec("5clique-flat", "gpm", "5CS",
+          "5-clique counting without nesting (app 5CS)", "graph", "citeseer"),
+    _spec("fsm", "gpm", "FSM",
+          "frequent subgraph mining (labeled graph)", "graph", "mico",
+          num_labels=4),
+    _spec("spmspm", "spmspm", "gustavson",
+          "SpMSpM, Gustavson dataflow (taco-compiled)", "matrix", "laser"),
+    _spec("spmspm-inner", "spmspm", "inner",
+          "SpMSpM, inner-product dataflow", "matrix", "laser"),
+    _spec("spmspm-outer", "spmspm", "outer",
+          "SpMSpM, outer-product dataflow", "matrix", "laser"),
+    _spec("ttv", "tensor", "ttv",
+          "tensor-times-vector on a CSF tensor", "tensor", "Ch"),
+    _spec("ttm", "tensor", "ttm",
+          "tensor-times-matrix on a CSF tensor", "tensor", "Ch"),
+]
+
+_TEN_GRAPHS = ("G", "C", "B", "E", "F", "W", "M", "Y", "P", "L")
+
+
+def _fig15a_matrices() -> tuple[str, ...]:
+    from repro.tensor.datasets import MATRIX_FIGURE_ORDER
+
+    return tuple(MATRIX_FIGURE_ORDER)
+
+
+#: Figure tag -> (workload names in figure order, dataset codes).
+#: Every figure is a full workload x dataset cross product; Figure 13
+#: re-prices Figure 12's runs under swept bandwidths, so it shares the
+#: same matrix.
+FIGURES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "fig07": (("three-chain", "three-motif", "tailed-triangle", "triangle",
+               "4clique", "5clique"), ("E", "F", "W", "M", "Y")),
+    "fig08": (("three-chain", "three-motif", "triangle-flat", "triangle",
+               "tailed-triangle", "4clique", "5clique", "4clique-flat",
+               "5clique-flat"), _TEN_GRAPHS),
+    "fig09": (("three-chain", "three-motif", "triangle-flat", "4clique",
+               "5clique", "tailed-triangle"), _TEN_GRAPHS),
+    "fig10": (("three-chain", "three-motif", "triangle-flat", "triangle",
+               "4clique", "5clique", "4clique-flat", "5clique-flat",
+               "tailed-triangle"), _TEN_GRAPHS),
+    "fig11": (("triangle", "4clique", "5clique", "tailed-triangle",
+               "three-chain", "three-motif"),
+              ("B", "E", "F", "W", "M", "Y")),
+    "fig12": (("triangle-flat", "triangle", "three-chain", "three-motif",
+               "4clique", "5clique", "tailed-triangle", "4clique-flat",
+               "5clique-flat"), ("B", "E", "F", "W")),
+    "fig13": (("triangle-flat", "triangle", "three-chain", "three-motif",
+               "4clique", "5clique", "tailed-triangle", "4clique-flat",
+               "5clique-flat"), ("B", "E", "F", "W")),
+    "fig14l": (("triangle", "three-motif", "three-chain", "4clique",
+                "5clique", "tailed-triangle"), ("E",)),
+    "fig14r": (("triangle",), _TEN_GRAPHS),
+    "fig15a": (("spmspm-inner", "spmspm-outer", "spmspm"),
+               _fig15a_matrices()),
+    "fig15b": (("ttv", "ttm"), ("Ch", "U")),
+    "fig16": (("spmspm-inner", "spmspm-outer", "spmspm"),
+              ("C204", "L", "G", "CA", "H")),
+}
+
+#: Per-(app, graph) scale trims for combinatorially explosive pairs.
+#: The trim factor multiplies the stand-in scale for that run only.
+# Trim factors are calibrated from a measured sweep so that every
+# (app, graph) pair runs in a few seconds of pure Python.  Clique and
+# tailed-triangle enumeration grow superlinearly on the dense or
+# hub-heavy stand-ins (F, W) and the large ones (M, Y, P, L).
+_CLIQUE_TRIMS = {"B": 0.4, "E": 0.3, "F": 0.2, "W": 0.1, "M": 0.35,
+                 "Y": 0.4, "P": 0.5, "L": 0.13}
+_TT_TRIMS = {"B": 0.15, "E": 0.15, "F": 0.15, "W": 0.09, "M": 0.2,
+             "L": 0.12, "G": 0.35, "Y": 0.35, "P": 0.35, "C": 0.6}
+_WEDGE_TRIMS = {"F": 0.4, "W": 0.3, "M": 0.35, "L": 0.3, "Y": 0.5,
+                "P": 0.5, "E": 0.55, "B": 0.55}
+HEAVY_TRIMS: dict[tuple[str, str], float] = {}
+for _app in ("4C", "4CS", "5C", "5CS"):
+    for _g, _f in _CLIQUE_TRIMS.items():
+        HEAVY_TRIMS[(_app, _g)] = _f
+for _g, _f in _TT_TRIMS.items():
+    HEAVY_TRIMS[("TT", _g)] = _f
+for _app in ("TC", "TM", "T", "TS"):
+    for _g, _f in _WEDGE_TRIMS.items():
+        HEAVY_TRIMS[(_app, _g)] = _f
+
+
+def effective_scale(spec: WorkloadSpec, dataset: str,
+                    scale: float = 1.0) -> float:
+    """The figure-suite scale for one run: global scale x heavy trim."""
+    return round(scale * HEAVY_TRIMS.get((spec.app, dataset), 1.0), 4)
+
+
+def _build_registry() -> dict[str, WorkloadSpec]:
+    tags: dict[str, list[str]] = {}
+    for tag, (names, _datasets) in FIGURES.items():
+        for name in names:
+            tags.setdefault(name, []).append(tag)
+    registry: dict[str, WorkloadSpec] = {}
+    for spec in _BASE_SPECS:
+        if spec.name in registry:
+            raise ValueError(f"duplicate workload name {spec.name!r}")
+        registry[spec.name] = replace(
+            spec, figures=tuple(tags.get(spec.name, ())))
+    for tag, (names, _datasets) in FIGURES.items():
+        for name in names:
+            if name not in registry:
+                raise ValueError(
+                    f"figure {tag} references unknown workload {name!r}")
+    return registry
+
+
+#: The one workload registry (name -> spec, stable listing order).
+REGISTRY: dict[str, WorkloadSpec] = _build_registry()
+
+_BY_FAMILY_APP = {(s.family, s.app): s for s in REGISTRY.values()}
+
+#: The CI smoke pair: one GPM pattern and one SpMSpM kernel.
+SMOKE_WORKLOADS = ("triangle", "spmspm")
+
+#: The prewarm smoke matrix: (workload, dataset) pairs small enough for
+#: CI, covering every family (GPM jobs get their heavy trims applied).
+SMOKE_SUITE = (("triangle", "C"), ("three-chain", "C"),
+               ("spmspm-inner", "CA"), ("ttv", "Ch"))
+
+
+def workload_names() -> list[str]:
+    return list(REGISTRY)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a canonical workload name (raises KeyError with help)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+
+
+def workload_for_app(family: str, app: str) -> WorkloadSpec:
+    """Resolve (family, app selector) — the eval/engine addressing."""
+    try:
+        return _BY_FAMILY_APP[(family, app)]
+    except KeyError:
+        raise KeyError(
+            f"no registered {family} workload with app {app!r}") from None
+
+
+def figure_workloads(tag: str) -> tuple[str, ...]:
+    """Workload names of one figure, in figure order."""
+    return FIGURES[tag][0]
+
+
+def figure_apps(tag: str) -> tuple[str, ...]:
+    """App selectors of one figure (the figure-module convention)."""
+    return tuple(REGISTRY[name].app for name in FIGURES[tag][0])
+
+
+def figure_datasets(tag: str) -> tuple[str, ...]:
+    """Dataset codes of one figure, in figure order."""
+    return FIGURES[tag][1]
+
+
+def figure_suite_runs(scale: float = 1.0, *,
+                      smoke: bool = False) -> list[tuple[WorkloadSpec, str,
+                                                         float]]:
+    """Every distinct (spec, dataset, scale) run behind the figure suite.
+
+    Runs are deduplicated across figures (the per-pair heavy trims make
+    the same workload/dataset pair appear at one effective scale);
+    ``smoke`` keeps only :data:`SMOKE_SUITE` (used by CI prewarm).
+    """
+    runs: dict[tuple[str, str, float], tuple[WorkloadSpec, str, float]] = {}
+
+    def add(spec: WorkloadSpec, dataset: str) -> None:
+        s = effective_scale(spec, dataset, scale) \
+            if spec.family == "gpm" else 1.0
+        runs.setdefault((spec.name, dataset, s), (spec, dataset, s))
+
+    if smoke:
+        for name, dataset in SMOKE_SUITE:
+            add(REGISTRY[name], dataset)
+        return list(runs.values())
+
+    for names, datasets in FIGURES.values():
+        for name in names:
+            for dataset in datasets:
+                add(REGISTRY[name], dataset)
+    return list(runs.values())
+
+
+__all__ = [
+    "FIGURES", "HEAVY_TRIMS", "REGISTRY", "SMOKE_SUITE", "SMOKE_WORKLOADS",
+    "effective_scale", "figure_apps", "figure_datasets", "figure_suite_runs",
+    "figure_workloads", "get_workload", "workload_for_app", "workload_names",
+]

@@ -1,0 +1,106 @@
+"""The declarative workload specification.
+
+A :class:`WorkloadSpec` is the single description of one runnable
+workload shared by every layer of the harness: the evaluation figures
+(:mod:`repro.eval`), the parallel engine (:mod:`repro.perf.engine`),
+the profiler (:mod:`repro.obs.profile`), and the CLI.  It names the
+workload, the family-specific kernel selector (GPM app code, SpMSpM
+dataflow, or tensor kernel), the dataset kind it consumes, and which
+paper figures it appears in — so cache keys, job fan-out, and
+profiling all key off one definition instead of four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The three workload families (also the engine's job kinds).
+FAMILIES = ("gpm", "spmspm", "tensor")
+
+#: Dataset registries a workload can draw from.
+DATASET_KINDS = ("graph", "matrix", "tensor")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload: identity, dataset kind, figure tags."""
+
+    name: str
+    family: str  # "gpm" | "spmspm" | "tensor"
+    #: family-specific selector: GPM app code ("T", "4C", ...),
+    #: SpMSpM dataflow ("inner" | "outer" | "gustavson"), or tensor
+    #: kernel ("ttv" | "ttm")
+    app: str
+    description: str
+    dataset_kind: str  # "graph" | "matrix" | "tensor"
+    default_dataset: str
+    #: figure tags this workload appears in (filled by the registry)
+    figures: tuple[str, ...] = ()
+    #: labels required on the graph (FSM); 0 = unlabeled
+    num_labels: int = 0
+
+    def __post_init__(self):
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {self.family!r}; expected one of {FAMILIES}")
+        if self.dataset_kind not in DATASET_KINDS:
+            raise ValueError(
+                f"unknown dataset kind {self.dataset_kind!r}; "
+                f"expected one of {DATASET_KINDS}")
+
+    # -- dataset resolution ------------------------------------------------
+
+    def resolve_dataset(self, name: str | None = None):
+        """Resolve ``name`` (or the default) in this workload's registry.
+
+        Returns the dataset spec (``GraphSpec`` / ``MatrixSpec`` /
+        ``TensorSpec``); raises :class:`~repro.errors.DatasetError` on
+        unknown names — the one validation path every CLI command and
+        pipeline entry shares.
+        """
+        name = name or self.default_dataset
+        if self.dataset_kind == "graph":
+            from repro.graph.datasets import resolve
+
+            return resolve(name)
+        if self.dataset_kind == "matrix":
+            from repro.tensor.datasets import resolve_matrix
+
+            return resolve_matrix(name)
+        from repro.tensor.datasets import resolve_tensor
+
+        return resolve_tensor(name)
+
+    def dataset_names(self) -> list[str]:
+        """Every dataset name this workload accepts (for listings)."""
+        if self.dataset_kind == "graph":
+            from repro.graph.datasets import GRAPH_REGISTRY
+
+            return list(GRAPH_REGISTRY)
+        if self.dataset_kind == "matrix":
+            from repro.tensor.datasets import MATRIX_REGISTRY
+
+            return list(MATRIX_REGISTRY)
+        from repro.tensor.datasets import TENSOR_REGISTRY
+
+        return list(TENSOR_REGISTRY)
+
+
+def dataset_for(spec: WorkloadSpec, *, graph: str | None = None,
+                matrix: str | None = None,
+                tensor: str | None = None) -> str:
+    """Pick the dataset name for ``spec`` from per-kind CLI flags.
+
+    The one helper behind ``--graph``/``--matrix``/``--tensor`` on
+    every subcommand: the flag matching ``spec.dataset_kind`` wins,
+    ``None`` falls back to the spec's default.  The returned name is
+    validated (``resolve_dataset`` raises ``DatasetError`` on unknown
+    names), so CLI error handling lives in one place too.
+    """
+    chosen = {"graph": graph, "matrix": matrix,
+              "tensor": tensor}[spec.dataset_kind]
+    name = chosen or spec.default_dataset
+    return spec.resolve_dataset(name).key
+
+
+__all__ = ["DATASET_KINDS", "FAMILIES", "WorkloadSpec", "dataset_for"]

@@ -7,11 +7,11 @@ import pytest
 from repro.obs.profile import (
     SMOKE_WORKLOADS,
     ProfileArgs,
-    WORKLOADS,
     profile_workload,
     workload_names,
 )
 from repro.obs.schema import validate_chrome_trace
+from repro.workloads import REGISTRY
 
 
 @pytest.fixture(scope="module")
@@ -25,9 +25,9 @@ class TestProfileWorkload:
             profile_workload("nope")
 
     def test_smoke_pair_registered(self):
-        assert all(name in WORKLOADS for name in SMOKE_WORKLOADS)
-        families = {WORKLOADS[n].family for n in SMOKE_WORKLOADS}
-        assert families == {"gpm", "tensor"}  # one of each, per CI
+        assert all(name in REGISTRY for name in SMOKE_WORKLOADS)
+        families = {REGISTRY[n].family for n in SMOKE_WORKLOADS}
+        assert families == {"gpm", "spmspm"}  # one of each, per CI
 
     def test_triangle_checks_hold(self, triangle_profile):
         result = triangle_profile
@@ -48,7 +48,7 @@ class TestProfileWorkload:
 
     def test_spmspm_runs(self):
         result = profile_workload("spmspm")
-        assert result.family == "tensor"
+        assert result.family == "spmspm"
         assert result.counters.get("machine.ops.vinter", 0) \
             + result.counters.get("machine.ops.vmerge", 0) > 0
 

@@ -165,14 +165,34 @@ class TestWarmMetricsIdentity:
         assert _canon(cold) == _canon(warm)
 
     def test_warm_path_actually_hits(self, cache, monkeypatch):
+        from repro.workloads import pipeline
+
         runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
 
         def boom(*a, **k):
             raise AssertionError("re-recorded despite a cache hit")
 
-        monkeypatch.setattr(runs, "run_app", boom)
+        monkeypatch.setitem(pipeline._RECORDERS, "gpm", boom)
         warm = runs.compute_gpm_metrics("T", "C", SMALL, cache=cache)
         assert warm["count"] > 0
+
+    def test_stale_format_version_re_records(self, cache):
+        from repro.workloads import get_workload, run_workload
+
+        spec = get_workload("triangle")
+        cold = run_workload(spec, "C", SMALL, cache=cache)
+        assert not cold.cached
+        # Age every sidecar to the previous cache format: the pipeline
+        # must treat the entries as misses and record again.
+        for sidecar in cache.root.glob("*.json"):
+            meta = json.loads(sidecar.read_text())
+            meta["format_version"] = CACHE_FORMAT_VERSION - 1
+            sidecar.write_text(json.dumps(meta))
+        stale = run_workload(spec, "C", SMALL, cache=cache)
+        assert not stale.cached
+        assert _canon(stale.metrics) == _canon(cold.metrics)
+        warm = run_workload(spec, "C", SMALL, cache=cache)
+        assert warm.cached
 
     def test_clear_run_cache_clears_disk(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))

@@ -68,3 +68,41 @@ class TestCommands:
     def test_figure_small(self, capsys):
         assert main(["figure", "12", "--scale", "0.08"]) == 0
         assert "speedup_4su" in capsys.readouterr().out
+
+
+class TestWorkloadsCommand:
+    def test_table_lists_every_workload(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in workload_names():
+            assert name in out
+        assert "family" in out  # table header
+
+    def test_list_is_bare_names(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workloads", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert out.split() == workload_names()
+
+
+class TestErrorPaths:
+    def test_unknown_profile_workload_exits_2(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown workload" in captured.out + captured.err
+
+    def test_unknown_graph_exits_2(self, capsys):
+        assert main(["run", "T", "--graph", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_matrix_exits_2(self, capsys):
+        assert main(["spmspm", "--matrix", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_profile_dataset_exits_2(self, capsys):
+        assert main(["profile", "triangle", "--graph", "bogus",
+                     "--scale", "0.2"]) == 2
+        assert "bogus" in capsys.readouterr().err

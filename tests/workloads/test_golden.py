@@ -1,0 +1,72 @@
+"""Golden drift checks for the unified run pipeline.
+
+The fixtures under tests/data/ were captured from the pre-refactor
+per-layer code paths; these tests pin the registry-driven pipeline to
+those outputs bit-for-bit.  Both sides go through a JSON round-trip so
+numpy arrays become lists and integer dict keys (the sweep tables)
+become strings, exactly as the goldens were serialized.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs.profile import ProfileArgs, profile_workload
+from repro.perf.engine import figure_suite_jobs, job_key
+from repro.workloads import get_workload, run_workload
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def _canon(x):
+    if isinstance(x, dict):
+        return {k: _canon(v) for k, v in x.items()}
+    if isinstance(x, (list, tuple)):
+        return [_canon(v) for v in x]
+    if isinstance(x, np.ndarray):
+        return x.tolist()
+    if isinstance(x, np.generic):
+        return x.item()
+    return x
+
+
+def _roundtrip(x):
+    return json.loads(json.dumps(_canon(x), sort_keys=True))
+
+
+def _golden(name):
+    return json.loads((DATA / name).read_text())
+
+
+class TestRunMetricsGolden:
+    @pytest.mark.parametrize("family", ["gpm", "spmspm", "tensor"])
+    def test_metrics_unchanged(self, family):
+        entry = _golden("golden_runs.json")[family]
+        spec = get_workload(entry["workload"])
+        rec = run_workload(spec, entry["dataset"],
+                           entry.get("scale", 1.0), cache=None)
+        assert _roundtrip(rec.metrics) == entry["metrics"]
+
+
+class TestSuiteJobsGolden:
+    def test_full_job_keys_unchanged(self):
+        golden = _golden("golden_suite_jobs.json")
+        keys = sorted(job_key(j) for j in figure_suite_jobs(1.0))
+        assert keys == sorted(golden["full"])
+
+    def test_smoke_job_keys_unchanged(self):
+        golden = _golden("golden_suite_jobs.json")
+        keys = sorted(job_key(j) for j in figure_suite_jobs(smoke=True))
+        assert keys == sorted(golden["smoke"])
+
+
+class TestProfileGolden:
+    def test_triangle_profile_unchanged(self):
+        golden = _golden("golden_profile_triangle.json")
+        result = profile_workload("triangle", ProfileArgs(scale=0.3))
+        payload = result.to_json()
+        payload.pop("wall_seconds", None)
+        golden.pop("wall_seconds", None)
+        assert _roundtrip(payload) == _roundtrip(golden)

@@ -1,0 +1,114 @@
+"""Registry completeness, spec resolution, and the unified fingerprint."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.perf.engine import figure_suite_jobs
+from repro.workloads import (
+    FIGURES,
+    HEAVY_TRIMS,
+    REGISTRY,
+    SMOKE_SUITE,
+    SMOKE_WORKLOADS,
+    dataset_for,
+    effective_scale,
+    figure_apps,
+    figure_datasets,
+    get_workload,
+    run_fingerprint,
+    workload_for_app,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_names_unique_and_list_stable(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+        assert names == workload_names()  # deterministic listing order
+        assert names == list(REGISTRY)
+
+    def test_smoke_workloads_resolve(self):
+        for name in SMOKE_WORKLOADS:
+            assert get_workload(name).name == name
+        for name, dataset in SMOKE_SUITE:
+            spec = get_workload(name)
+            assert spec.resolve_dataset(dataset).key
+
+    def test_every_figure_suite_job_resolves(self):
+        for job in figure_suite_jobs(1.0) + figure_suite_jobs(smoke=True):
+            spec = workload_for_app(job.kind, job.app)
+            assert spec.family == job.kind
+            assert job_dataset_resolves(spec, job.dataset)
+            if spec.family == "gpm":
+                assert job.scale == effective_scale(spec, job.dataset)
+
+    def test_figure_tags_cover_registry_figures(self):
+        for tag, (names, datasets) in FIGURES.items():
+            assert datasets
+            for name in names:
+                spec = get_workload(name)
+                assert tag in spec.figures
+                for dataset in datasets:
+                    assert spec.resolve_dataset(dataset).key
+
+    def test_figure_apps_match_workloads(self):
+        assert figure_apps("fig07") == ("TC", "TM", "TT", "T", "4C", "5C")
+        assert figure_datasets("fig07") == ("E", "F", "W", "M", "Y")
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope")
+        with pytest.raises(KeyError, match="no registered"):
+            workload_for_app("gpm", "ZZ")
+
+    def test_heavy_trims_use_registered_apps(self):
+        apps = {spec.app for spec in REGISTRY.values()
+                if spec.family == "gpm"}
+        assert {app for app, _graph in HEAVY_TRIMS} <= apps
+
+
+class TestDatasetResolution:
+    def test_dataset_for_picks_matching_kind(self):
+        spec = get_workload("triangle")
+        assert dataset_for(spec, graph="E", matrix="CA",
+                           tensor="U") == "email_eu_core"
+        spmspm = get_workload("spmspm")
+        assert dataset_for(spmspm, graph="E", matrix="CA",
+                           tensor="U") == "california"
+        ttv = get_workload("ttv")
+        assert dataset_for(ttv, graph="E", matrix="CA",
+                           tensor="U") == "uber_pickups"
+
+    def test_dataset_for_defaults(self):
+        assert dataset_for(get_workload("triangle")) == "citeseer"
+        assert dataset_for(get_workload("fsm")) == "mico"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_for(get_workload("triangle"), graph="bogus")
+        with pytest.raises(DatasetError):
+            get_workload("spmspm").resolve_dataset("bogus")
+
+
+class TestFingerprint:
+    def test_spec_and_dataset_and_scale_distinguish(self):
+        tri = get_workload("triangle")
+        flat = get_workload("triangle-flat")
+        d_c = tri.resolve_dataset("C")
+        d_e = tri.resolve_dataset("E")
+        base = run_fingerprint(tri, d_c, 1.0)
+        assert run_fingerprint(tri, d_c, 1.0) == base
+        assert run_fingerprint(flat, d_c, 1.0) != base
+        assert run_fingerprint(tri, d_e, 1.0) != base
+        assert run_fingerprint(tri, d_c, 0.5) != base
+
+    def test_families_never_collide(self):
+        keys = set()
+        for spec in REGISTRY.values():
+            keys.add(run_fingerprint(spec, spec.resolve_dataset(), 1.0))
+        assert len(keys) == len(REGISTRY)
+
+
+def job_dataset_resolves(spec, dataset: str) -> bool:
+    return bool(spec.resolve_dataset(dataset).key)
