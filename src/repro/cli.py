@@ -27,11 +27,19 @@ Commands:
     Several workloads fan out over ``--jobs`` worker processes;
     ``--smoke`` profiles the CI pair (triangle + spmspm) with all
     checks enforced.
-``cache <stats|prewarm|clear> [--dir D] [--jobs N] [--scale S]``
+``cache <stats|prewarm|fsck|clear> [--dir D] [--jobs N] [--scale S]``
     Manage the persistent run cache (recorded traces, content-addressed
     by workload + dataset generator parameters).  ``prewarm`` records
     every run behind the figure suite so subsequent figure/table
-    commands only re-price cached traces.
+    commands only re-price cached traces.  ``fsck`` verifies every
+    entry end-to-end (sidecar JSON, payload checksum, format version)
+    and quarantines whatever fails; ``stats`` counts anomalies.
+``chaos [--smoke] [--seed S] [--timeout T] [--jobs N]``
+    Robustness gate: run the figure suite fault-free and again under a
+    seeded fault plan (worker crashes, hangs, transient I/O errors,
+    cache corruption) and assert metrics stay bit-identical, no job is
+    lost, and the retry/fallback/quarantine counters are nonzero.  See
+    docs/robustness.md.
 ``workloads [--list]``
     List the unified workload registry (name, family, app selector,
     dataset kind, figure membership) that ``run``/``spmspm``/
@@ -279,7 +287,10 @@ def _cmd_profile(args) -> int:
         # Multi-workload mode: fan out over --jobs worker processes and
         # print the cross-workload comparison (model cycles + the
         # harness wall-clock each profile cost).
-        payloads = profile_many(args.workload, pargs, jobs=args.jobs)
+        from repro.perf.engine import default_workers
+
+        jobs = args.jobs if args.jobs is not None else default_workers()
+        payloads = profile_many(args.workload, pargs, jobs=jobs)
         if args.json:
             print(json.dumps(payloads, indent=2))
             return 0
@@ -292,7 +303,7 @@ def _cmd_profile(args) -> int:
             "speedup": f"{p['speedup_vs_cpu']:.2f}x",
             "wall_s": f"{p['wall_seconds']:.3f}",
         } for p in payloads]
-        print(render(rows, f"profiles ({args.jobs} job(s))"))
+        print(render(rows, f"profiles ({jobs} job(s))"))
         return 0
 
     result = profile_workload(args.workload[0], pargs)
@@ -316,7 +327,11 @@ def _cmd_cache(args) -> int:
 
     from repro.eval.reporting import render
     from repro.perf.cache import RunCache, default_run_cache
-    from repro.perf.engine import figure_suite_jobs, run_jobs
+    from repro.perf.engine import (
+        default_workers,
+        figure_suite_jobs,
+        run_jobs_report,
+    )
 
     cache = RunCache(args.dir) if args.dir else default_run_cache()
     if cache is None:
@@ -337,6 +352,15 @@ def _cmd_cache(args) -> int:
                 "entries"))
         return 0
 
+    if args.action == "fsck":
+        report = cache.fsck()
+        rows = [{"stat": k, "value": v} for k, v in report.items()]
+        print(render(rows, "cache fsck"))
+        if report["quarantined"]:
+            print(f"quarantined {report['quarantined']} damaged "
+                  f"file(s) under {cache.root}/quarantine")
+        return 0
+
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached run(s) from {cache.root}")
@@ -344,15 +368,40 @@ def _cmd_cache(args) -> int:
 
     # prewarm: record (or refresh) every run behind the figure suite.
     jobs = figure_suite_jobs(args.scale, smoke=args.smoke)
+    workers = args.jobs if args.jobs is not None else default_workers()
     start = time.perf_counter()
-    results = run_jobs(jobs, workers=args.jobs, cache_dir=cache.root)
+    report = run_jobs_report(jobs, workers=workers, cache_dir=cache.root)
     wall = time.perf_counter() - start
     stats = cache.stats()
-    print(f"prewarmed {len(results)} run(s) in {wall:.1f}s "
-          f"({args.jobs} worker(s)); cache now holds "
+    print(f"prewarmed {len(report.results)} run(s) in {wall:.1f}s "
+          f"({workers} worker(s)); cache now holds "
           f"{stats['entries']} entries / {stats['bytes'] / 1e6:.1f} MB "
           f"at {stats['root']}")
+    if report.retries or report.inline_fallbacks:
+        print(f"resilience: {report.retries} retr(y|ies), "
+              f"{report.inline_fallbacks} inline fallback(s), "
+              f"{report.pool_rebuilds} pool rebuild(s)")
+    if report.failures:
+        for failure in report.failures:
+            print(f"FAILED {failure.key}: {failure.error}: "
+                  f"{failure.message} ({failure.attempts} attempts)")
+        return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(smoke=args.smoke, scale=args.scale,
+                       seed=args.seed, workers=args.jobs,
+                       timeout=args.timeout, max_jobs=args.max_jobs)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_workloads(args) -> int:
@@ -436,8 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="GPM patterns or tensor kernels "
                               "(run without arguments for the list; "
                               "several names fan out over --jobs)")
-    profile.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for multi-workload runs")
+    profile.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for multi-workload runs "
+                              "(default: $REPRO_WORKERS or 1)")
     profile.add_argument("--graph", default="citeseer",
                          help="graph dataset for GPM workloads")
     profile.add_argument("--matrix", default="laser",
@@ -460,18 +510,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser(
         "cache", help="manage the persistent run cache")
-    cache.add_argument("action", choices=["stats", "prewarm", "clear"])
+    cache.add_argument("action", choices=["stats", "prewarm", "fsck",
+                                          "clear"])
     cache.add_argument("--dir", default=None,
                        help="cache root (default: $REPRO_CACHE_DIR or "
                             "~/.cache/repro-sparsecore/runs)")
-    cache.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for prewarm")
+    cache.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for prewarm "
+                            "(default: $REPRO_WORKERS or 1)")
     cache.add_argument("--scale", type=float, default=1.0,
                        help="figure-suite scale for prewarm")
     cache.add_argument("--smoke", action="store_true",
                        help="prewarm a small representative job set")
     cache.add_argument("--verbose", action="store_true",
                        help="list individual entries under stats")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection gate over the figure suite")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="chaos-test the small smoke suite (CI)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed of the derived fault plan")
+    chaos.add_argument("--scale", type=float, default=1.0,
+                       help="figure-suite scale factor")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (>= 2 exercises the pool "
+                            "crash/hang paths)")
+    chaos.add_argument("--timeout", type=float, default=30.0,
+                       help="per-job timeout under faults (the hang "
+                            "fault must exceed it)")
+    chaos.add_argument("--max-jobs", type=int, default=None,
+                       help="trim the job list (faster local runs)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the chaos report as JSON")
 
     workloads = sub.add_parser(
         "workloads", help="list the unified workload registry")
@@ -490,6 +561,7 @@ _COMMANDS = {
     "difftest": _cmd_difftest,
     "profile": _cmd_profile,
     "cache": _cmd_cache,
+    "chaos": _cmd_chaos,
     "workloads": _cmd_workloads,
 }
 

@@ -73,6 +73,30 @@ class DatasetError(ReproError):
     """An unknown dataset name was requested from a registry."""
 
 
+class ExecutionError(ReproError):
+    """The parallel engine could not complete one or more jobs.
+
+    Raised only in ``strict`` mode; by default the engine degrades to
+    partial results and reports failures as structured records.
+    """
+
+
+class JobTimeoutError(ExecutionError):
+    """A pool job exceeded its per-job wall-clock budget."""
+
+
+class JobCrashError(ExecutionError):
+    """A pool worker process died (``BrokenProcessPool``) mid-job."""
+
+
+class CacheCorruptionError(ReproError):
+    """The run cache held entries that failed integrity verification.
+
+    Raised only by ``RunCache.fsck(strict=True)``; the read path never
+    raises — corrupt entries are quarantined and read as misses.
+    """
+
+
 class CompilerError(ReproError):
     """The GPM or tensor compiler could not compile the requested input."""
 

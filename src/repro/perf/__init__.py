@@ -20,15 +20,22 @@ from repro.perf.cache import (
     reset_default_run_cache,
 )
 from repro.perf.engine import (
+    EngineReport,
+    JobFailure,
+    JobResult,
     RunJob,
     figure_suite_jobs,
     job_key,
     run_jobs,
+    run_jobs_report,
 )
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CachedRun",
+    "EngineReport",
+    "JobFailure",
+    "JobResult",
     "LRUCache",
     "RunCache",
     "RunJob",
@@ -41,4 +48,5 @@ __all__ = [
     "mem_cache_capacity",
     "reset_default_run_cache",
     "run_jobs",
+    "run_jobs_report",
 ]

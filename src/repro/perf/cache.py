@@ -18,18 +18,33 @@ Cost-model outputs are deliberately **not** cached: a hit re-prices the
 stored trace under the current models, so model changes never serve
 stale metrics — only the expensive per-op Python recording is skipped.
 
+**Integrity.** Every sidecar stores a SHA-256 checksum of the payload
+bytes, verified on read.  A damaged entry — truncated or bit-flipped
+``.npz``, unparseable sidecar, checksum mismatch — is never served and
+never crashes the reader: both files move to a ``quarantine/`` subdir
+(with a ``.reason`` note) and the lookup reads as a miss, so the run
+simply re-records.  Orphans (payload without sidecar or vice versa)
+and stale-format entries are counted by :meth:`RunCache.stats` and
+repaired by :meth:`RunCache.fsck` (``python -m repro cache fsck``).
+Writes are atomic (temp file + ``os.replace``), so concurrent writers
+racing on one key last-write-win with bytes-identical content, and a
+reader never observes a half-written entry.
+
 The cache root comes from ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-sparsecore/runs``, ``$XDG_CACHE_HOME``-aware); setting
 ``REPRO_RUN_CACHE=0`` disables the default cache entirely.  Manage it
-with ``python -m repro cache {stats,prewarm,clear}``.
+with ``python -m repro cache {stats,prewarm,fsck,clear}``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
+import shutil
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +52,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.arch.trace import _ARRAY_FIELDS, _SCALAR_FIELDS, FrozenTrace
+from repro.resilience.faults import InjectedOSError, corrupt_bytes, inject
+from repro.resilience.knobs import env_int
+from repro.resilience.metrics import RES_COUNTERS
 
 #: Bump whenever the trace layout, recording semantics, or key schema
 #: change in a way that invalidates previously stored runs.  v2:
@@ -45,8 +63,14 @@ from repro.arch.trace import _ARRAY_FIELDS, _SCALAR_FIELDS, FrozenTrace
 #: key builders.
 CACHE_FORMAT_VERSION = 2
 
-#: Sidecar schema version (the JSON next to each ``.npz``).
-SIDECAR_SCHEMA_VERSION = 1
+#: Sidecar schema version (the JSON next to each ``.npz``).  v2 added
+#: the ``payload_sha256`` content checksum (v1 sidecars, which lack it,
+#: are still readable — they just skip verification until re-recorded).
+SIDECAR_SCHEMA_VERSION = 2
+
+#: Subdirectory damaged entries are moved to (never deleted, never
+#: re-served; ``cache clear`` empties it).
+QUARANTINE_DIR = "quarantine"
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_RUN_CACHE"
@@ -54,6 +78,10 @@ _ENV_MEM_ENTRIES = "REPRO_RUN_CACHE_ENTRIES"
 
 #: Default bound of the in-memory metrics LRU (:class:`LRUCache`).
 DEFAULT_MEM_ENTRIES = 256
+
+#: Exceptions that mean "this payload is not a valid trace archive".
+_DECODE_ERRORS = (KeyError, ValueError, OSError, EOFError,
+                  zipfile.BadZipFile)
 
 
 class LRUCache:
@@ -95,11 +123,12 @@ class LRUCache:
 
 
 def mem_cache_capacity() -> int:
-    """Entry cap of the in-memory metrics LRU (env-configurable)."""
-    try:
-        return int(os.environ.get(_ENV_MEM_ENTRIES, DEFAULT_MEM_ENTRIES))
-    except ValueError:
-        return DEFAULT_MEM_ENTRIES
+    """Entry cap of the in-memory metrics LRU (env-configurable).
+
+    Validated centrally: non-numeric or negative values warn once and
+    fall back to :data:`DEFAULT_MEM_ENTRIES` (0 means unbounded).
+    """
+    return env_int(_ENV_MEM_ENTRIES, DEFAULT_MEM_ENTRIES, minimum=0)
 
 
 def fingerprint(kind: str, params: dict,
@@ -120,6 +149,32 @@ class CachedRun:
         default_factory=lambda: np.empty(0, dtype=np.int64))
 
 
+@dataclass
+class CacheScan:
+    """One pass over the cache directory, nothing silently skipped."""
+
+    entries: list[dict] = field(default_factory=list)
+    entry_keys: list[str] = field(default_factory=list)
+    #: sidecars that exist but do not parse as JSON
+    corrupt_sidecars: list[Path] = field(default_factory=list)
+    #: parseable sidecars whose ``.npz`` payload is missing
+    orphan_sidecars: list[Path] = field(default_factory=list)
+    #: ``.npz`` payloads with no sidecar
+    orphan_payloads: list[Path] = field(default_factory=list)
+    #: entry keys recorded under a different CACHE_FORMAT_VERSION
+    stale: list[str] = field(default_factory=list)
+    #: distinct entries currently held in ``quarantine/``
+    quarantined: int = 0
+    #: leftover ``*.tmp`` files from interrupted writers
+    tmp_files: int = 0
+
+    @property
+    def damaged(self) -> int:
+        """Files/entries needing fsck attention (quarantine not counted)."""
+        return (len(self.corrupt_sidecars) + len(self.orphan_sidecars)
+                + len(self.orphan_payloads) + len(self.stale))
+
+
 def default_cache_dir() -> Path:
     env = os.environ.get(_ENV_DIR)
     if env:
@@ -136,16 +191,19 @@ def cache_enabled() -> bool:
 class RunCache:
     """Content-addressed on-disk store of recorded runs.
 
-    Layout: ``<root>/<fingerprint>.npz`` (trace columns + lengths) and
-    ``<root>/<fingerprint>.json`` (sidecar: key parameters and run
-    facts such as the embedding count).  Writes are atomic
-    (temp file + ``os.replace``), so concurrent workers racing on the
-    same key simply last-write-win with identical bytes-equivalent
-    content.
+    Layout: ``<root>/<fingerprint>.npz`` (trace columns + lengths),
+    ``<root>/<fingerprint>.json`` (sidecar: key parameters, run facts,
+    payload checksum), and ``<root>/quarantine/`` for damaged files.
+    Reads verify the checksum and **never raise**: anything damaged is
+    quarantined and reported as a miss; transient I/O errors are
+    counted and reported as misses without quarantining.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None, *,
+                 counters=None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: resilience counter sink (defaults to the process registry)
+        self.counters = RES_COUNTERS if counters is None else counters
 
     # -- keys --------------------------------------------------------------
 
@@ -155,13 +213,72 @@ class RunCache:
     def _paths(self, key: str) -> tuple[Path, Path]:
         return self.root / f"{key}.npz", self.root / f"{key}.json"
 
+    # -- quarantine --------------------------------------------------------
+
+    def _quarantine_file(self, path: Path, reason: str) -> bool:
+        """Move one damaged file aside; never raises."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            if not path.exists():
+                return False
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            (qdir / f"{path.stem}.reason").write_text(reason + "\n")
+        except OSError:
+            return False
+        self.counters.inc("resilience.cache.quarantined_files")
+        return True
+
+    def _quarantine(self, key: str, reason: str) -> bool:
+        """Move a damaged entry (payload + sidecar) into quarantine."""
+        npz_path, json_path = self._paths(key)
+        moved = self._quarantine_file(npz_path, reason)
+        moved = self._quarantine_file(json_path, reason) or moved
+        if moved:
+            self.counters.inc("resilience.cache.quarantined")
+        return moved
+
     # -- read --------------------------------------------------------------
 
     def get(self, key: str) -> CachedRun | None:
+        """Load one entry; corrupt entries quarantine and read as misses."""
         npz_path, json_path = self._paths(key)
+        counters = self.counters
         try:
-            meta = json.loads(json_path.read_text())
-            with np.load(npz_path) as data:
+            point = inject("cache.read", key)
+        except InjectedOSError:
+            counters.inc("resilience.cache.read_errors")
+            return None
+        try:
+            raw_meta = json_path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            counters.inc("resilience.cache.read_errors")
+            return None
+        try:
+            meta = json.loads(raw_meta)
+        except json.JSONDecodeError:
+            self._quarantine(key, "sidecar is not valid JSON")
+            return None
+        try:
+            payload = npz_path.read_bytes()
+        except FileNotFoundError:
+            self._quarantine(key, "payload .npz missing (orphan sidecar)")
+            return None
+        except OSError:
+            counters.inc("resilience.cache.read_errors")
+            return None
+        if point is not None and point.kind == "corrupt":
+            payload = corrupt_bytes(payload)  # simulated bit rot on read
+        want = meta.get("payload_sha256")
+        if want is not None \
+                and hashlib.sha256(payload).hexdigest() != want:
+            counters.inc("resilience.cache.checksum_mismatch")
+            self._quarantine(key, "payload checksum mismatch")
+            return None
+        try:
+            with np.load(io.BytesIO(payload)) as data:
                 scalars = data["scalars"]
                 trace = FrozenTrace(
                     name=str(data["name"]),
@@ -172,10 +289,12 @@ class RunCache:
                 lengths = (np.asarray(data["lengths"], dtype=np.int64)
                            if "lengths" in data.files
                            else np.empty(0, dtype=np.int64))
-        except (OSError, KeyError, ValueError, json.JSONDecodeError):
-            return None  # missing or corrupt entry == miss
-        if meta.get("format_version") != CACHE_FORMAT_VERSION:
+        except _DECODE_ERRORS:
+            self._quarantine(key, "payload is not a decodable trace "
+                                  "archive")
             return None
+        if meta.get("format_version") != CACHE_FORMAT_VERSION:
+            return None  # stale but intact: miss (fsck quarantines these)
         return CachedRun(trace=trace, meta=meta, lengths=lengths)
 
     def __contains__(self, key: str) -> bool:
@@ -185,33 +304,57 @@ class RunCache:
     # -- write -------------------------------------------------------------
 
     def put(self, key: str, trace: FrozenTrace, meta: dict,
-            lengths: np.ndarray | None = None) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        npz_path, json_path = self._paths(key)
+            lengths: np.ndarray | None = None) -> bool:
+        """Store one entry; returns False on (tolerated) write failure.
+
+        A cache write failure is never fatal — the caller already holds
+        the freshly recorded trace, so the run degrades to uncached.
+        """
+        counters = self.counters
+        try:
+            point = inject("cache.write", key)
+        except InjectedOSError:
+            counters.inc("resilience.cache.write_errors")
+            return False
+        extra = {}
+        if lengths is not None:
+            extra["lengths"] = np.asarray(lengths, dtype=np.int64)
+        buf = io.BytesIO()
+        trace.save(buf, **extra)
+        payload = buf.getvalue()
+        # Checksum the true bytes; injected corruption happens "after"
+        # (bit rot on the way to disk) so verification catches it.
+        digest = hashlib.sha256(payload).hexdigest()
+        if point is not None and point.kind == "corrupt":
+            payload = corrupt_bytes(payload)
+            counters.inc("resilience.cache.corrupt_writes")
         sidecar = {
             "schema_version": SIDECAR_SCHEMA_VERSION,
             "format_version": CACHE_FORMAT_VERSION,
             "key": key,
             "num_ops": trace.num_ops,
+            "payload_sha256": digest,
             **meta,
         }
-        extra = {}
-        if lengths is not None:
-            extra["lengths"] = np.asarray(lengths, dtype=np.int64)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        npz_path, json_path = self._paths(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._write_atomic(npz_path, payload, ".npz.tmp")
+            self._write_atomic(
+                json_path,
+                json.dumps(sidecar, indent=1, sort_keys=True).encode(),
+                ".json.tmp")
+        except OSError:
+            counters.inc("resilience.cache.write_errors")
+            return False
+        return True
+
+    def _write_atomic(self, dest: Path, data: bytes, suffix: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=suffix)
         try:
             with os.fdopen(fd, "wb") as fh:
-                trace.save(fh, **extra)
-            os.replace(tmp, npz_path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(sidecar, fh, indent=1, sort_keys=True)
-            os.replace(tmp, json_path)
+                fh.write(data)
+            os.replace(tmp, dest)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -219,47 +362,133 @@ class RunCache:
 
     # -- maintenance -------------------------------------------------------
 
-    def entries(self) -> list[dict]:
-        """Sidecars of every cached run (sorted by key)."""
+    def scan(self) -> CacheScan:
+        """Inventory the cache directory, counting every anomaly."""
+        scan = CacheScan()
         if not self.root.is_dir():
-            return []
-        out = []
+            return scan
+        payloads = {p.stem: p for p in self.root.glob("*.npz")}
+        claimed: set[str] = set()
         for path in sorted(self.root.glob("*.json")):
             try:
-                out.append(json.loads(path.read_text()))
+                meta = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
+                scan.corrupt_sidecars.append(path)
                 continue
-        return out
+            if path.stem not in payloads:
+                scan.orphan_sidecars.append(path)
+                continue
+            claimed.add(path.stem)
+            scan.entries.append(meta)
+            scan.entry_keys.append(path.stem)
+            if meta.get("format_version") != CACHE_FORMAT_VERSION:
+                scan.stale.append(path.stem)
+        scan.orphan_payloads = [p for stem, p in sorted(payloads.items())
+                                if stem not in claimed]
+        scan.tmp_files = sum(1 for p in self.root.iterdir()
+                             if p.name.endswith(".tmp"))
+        qdir = self.root / QUARANTINE_DIR
+        if qdir.is_dir():
+            scan.quarantined = len({p.stem for p in qdir.iterdir()
+                                    if p.suffix in (".npz", ".json")})
+        return scan
+
+    def entries(self) -> list[dict]:
+        """Sidecars of every intact cached run (sorted by key).
+
+        Anomalies are *not* silently skipped — they are counted by
+        :meth:`scan`/:meth:`stats` and repaired by :meth:`fsck`.
+        """
+        return self.scan().entries
 
     def stats(self) -> dict:
-        """Entry count and on-disk footprint."""
-        entries = 0
+        """Entry count, on-disk footprint, and anomaly counts."""
+        scan = self.scan()
         total_bytes = 0
-        num_ops = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
-                if path.suffix == ".npz":
-                    entries += 1
                 try:
-                    total_bytes += path.stat().st_size
+                    if path.is_file():
+                        total_bytes += path.stat().st_size
                 except OSError:
                     continue
-            for meta in self.entries():
-                num_ops += int(meta.get("num_ops", 0))
         return {
             "root": str(self.root),
-            "entries": entries,
+            "entries": len(scan.entries),
             "bytes": total_bytes,
-            "stream_ops": num_ops,
+            "stream_ops": sum(int(m.get("num_ops", 0))
+                              for m in scan.entries),
             "format_version": CACHE_FORMAT_VERSION,
+            "stale_entries": len(scan.stale),
+            "corrupt_sidecars": len(scan.corrupt_sidecars),
+            "orphan_sidecars": len(scan.orphan_sidecars),
+            "orphan_payloads": len(scan.orphan_payloads),
+            "quarantined": scan.quarantined,
+            "tmp_files": scan.tmp_files,
         }
 
+    def fsck(self, *, strict: bool = False) -> dict:
+        """Verify every entry end-to-end; quarantine whatever fails.
+
+        Deep check: each intact-looking entry is fully loaded and its
+        checksum verified (via :meth:`get`, which quarantines on
+        corruption).  Orphans, unparseable sidecars, and stale-format
+        entries are quarantined too.  With ``strict=True`` a repair
+        raises :class:`~repro.errors.CacheCorruptionError` after
+        completing, for CI gates.
+        """
+        from repro.errors import CacheCorruptionError
+
+        scan = self.scan()
+        quarantined = 0
+        for path in scan.corrupt_sidecars:
+            quarantined += self._quarantine_file(
+                path, "fsck: sidecar is not valid JSON")
+        for path in scan.orphan_sidecars:
+            quarantined += self._quarantine_file(
+                path, "fsck: sidecar without payload")
+        for path in scan.orphan_payloads:
+            quarantined += self._quarantine_file(
+                path, "fsck: payload without sidecar")
+        stale = set(scan.stale)
+        checked = ok = corrupt = 0
+        for key in scan.entry_keys:
+            checked += 1
+            if key in stale:
+                self._quarantine(key, "fsck: stale format_version")
+                quarantined += 1
+                continue
+            if self.get(key) is None:  # quarantines internally
+                corrupt += 1
+                quarantined += 1
+            else:
+                ok += 1
+        report = {
+            "root": str(self.root),
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt + len(scan.corrupt_sidecars),
+            "stale": len(scan.stale),
+            "orphans": (len(scan.orphan_sidecars)
+                        + len(scan.orphan_payloads)),
+            "quarantined": quarantined,
+        }
+        if strict and quarantined:
+            raise CacheCorruptionError(
+                f"cache fsck quarantined {quarantined} damaged "
+                f"file(s)/entr(y|ies) under {self.root}")
+        return report
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (quarantine and leftover temp files
+        included); returns the number of entries removed."""
         removed = 0
         if not self.root.is_dir():
             return 0
         for path in self.root.iterdir():
+            if path.is_dir() and path.name == QUARANTINE_DIR:
+                shutil.rmtree(path, ignore_errors=True)
+                continue
             if path.suffix in (".npz", ".json") or path.name.endswith(".tmp"):
                 try:
                     path.unlink()
@@ -293,7 +522,8 @@ def reset_default_run_cache() -> None:
 
 
 __all__ = [
-    "CACHE_FORMAT_VERSION", "CachedRun", "LRUCache", "RunCache",
-    "cache_enabled", "default_cache_dir", "default_run_cache",
-    "fingerprint", "mem_cache_capacity", "reset_default_run_cache",
+    "CACHE_FORMAT_VERSION", "CacheScan", "CachedRun", "LRUCache",
+    "QUARANTINE_DIR", "RunCache", "cache_enabled", "default_cache_dir",
+    "default_run_cache", "fingerprint", "mem_cache_capacity",
+    "reset_default_run_cache",
 ]

@@ -1,0 +1,43 @@
+"""Fault-tolerant execution layer.
+
+Three pieces, mirroring the paper's precisely-specified hardware fault
+model (Sections 3.3/5.1) at the software level:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (:class:`FaultPlan`/:class:`FaultPoint`) with hooks in
+  cache reads/writes, dataset resolution, and pool-worker execution;
+* :mod:`repro.resilience.knobs` — central validation of every
+  ``REPRO_*`` environment knob (one warning + documented default);
+* :mod:`repro.resilience.metrics` — the process-wide resilience
+  counter registry (retries, fallbacks, quarantines, injected faults);
+* :mod:`repro.resilience.chaos` — the ``python -m repro chaos``
+  harness: run the smoke suite under a seeded fault plan and assert
+  metrics stay bit-identical to the fault-free run.
+
+See ``docs/robustness.md`` for the failure taxonomy and semantics.
+"""
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultPoint,
+    InjectedFault,
+    InjectedOSError,
+    active_plan,
+    inject,
+    install,
+    uninstall,
+)
+from repro.resilience.knobs import env_float, env_int, reset_knob_warnings
+from repro.resilience.metrics import (
+    RES_COUNTERS,
+    merge_resilience,
+    reset_resilience,
+    resilience_snapshot,
+)
+
+__all__ = [
+    "FaultPlan", "FaultPoint", "InjectedFault", "InjectedOSError",
+    "RES_COUNTERS", "active_plan", "env_float", "env_int", "inject",
+    "install", "merge_resilience", "reset_knob_warnings",
+    "reset_resilience", "resilience_snapshot", "uninstall",
+]

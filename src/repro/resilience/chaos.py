@@ -1,0 +1,204 @@
+"""The chaos harness: ``python -m repro chaos``.
+
+Runs the figure smoke suite twice — once fault-free, once under a
+seeded :class:`~repro.resilience.faults.FaultPlan` injecting worker
+crashes, hangs, transient I/O errors, and cache payload corruption into
+the real execution paths — and asserts the contract the rest of the
+roadmap (serve, sharded multicore) is built on:
+
+* metrics are **bit-identical** between the two runs,
+* **no exception escapes** to the caller and no job is lost,
+* the injected-fault / retry / quarantine counters are **nonzero**
+  (the faults really fired and the machinery really absorbed them).
+
+The default plan is derived deterministically from ``--seed`` and the
+job list: one job crashes its worker, one hangs past the per-job
+timeout, one raises a transient ``OSError``, one persistently corrupts
+its cache payload (caught later by ``fsck``'s checksum pass), and a
+seeded subset of cache reads and dataset resolutions fail transiently.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultPoint
+from repro.resilience.metrics import reset_resilience, resilience_snapshot
+
+
+def _canon(x):
+    import numpy as np
+
+    if isinstance(x, dict):
+        return {k: _canon(v) for k, v in x.items()}
+    if isinstance(x, np.ndarray):
+        return x.tolist()
+    return x
+
+
+def default_plan(keys: list[str], *, seed: int = 0,
+                 delay: float = 600.0) -> FaultPlan:
+    """The standard chaos plan over one job list.
+
+    ``delay`` only needs to exceed the per-job timeout — the hung
+    worker is terminated, never joined.
+    """
+    if not keys:
+        return FaultPlan(seed=seed)
+
+    def pick(i: int) -> str:
+        return keys[(seed + i) % len(keys)]
+
+    # Cache sites key on the run *fingerprint* (a hex digest), not the
+    # job key, so they are targeted by rate/times rather than match.
+    # cache.write corruption fires on every attempt (times=10): the
+    # final successful write of every job lands corrupted on disk, and
+    # the fsck checksum pass must quarantine all of them.
+    return FaultPlan(seed=seed, points=(
+        FaultPoint("worker.exec", "crash", match=pick(0), times=1),
+        FaultPoint("worker.exec", "hang", match=pick(1), times=1,
+                   delay=delay),
+        FaultPoint("worker.exec", "oserror", match=pick(2), times=1),
+        FaultPoint("dataset.resolve", "oserror", rate=0.4, times=1),
+        FaultPoint("cache.write", "corrupt", times=10),
+        FaultPoint("cache.read", "oserror", rate=0.4, times=1),
+    ))
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run, with every asserted fact explicit."""
+
+    jobs: int
+    identical: bool
+    failures: list[str] = field(default_factory=list)
+    injected: dict = field(default_factory=dict)
+    engine: dict = field(default_factory=dict)
+    quarantined: int = 0
+    baseline_wall: float = 0.0
+    faulted_wall: float = 0.0
+    plan_json: str = ""
+
+    @property
+    def injected_total(self) -> float:
+        return sum(self.injected.values())
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and not self.failures
+                and self.injected_total > 0
+                and self.engine.get("retries", 0) > 0
+                and self.quarantined > 0)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "metrics_bit_identical": self.identical,
+            "failures": self.failures,
+            "injected_faults": self.injected,
+            "engine": self.engine,
+            "quarantined": self.quarantined,
+            "baseline_wall_seconds": round(self.baseline_wall, 3),
+            "faulted_wall_seconds": round(self.faulted_wall, 3),
+            "plan": json.loads(self.plan_json) if self.plan_json else None,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: {self.jobs} job(s), baseline "
+            f"{self.baseline_wall:.1f}s, under faults "
+            f"{self.faulted_wall:.1f}s",
+            f"  metrics bit-identical to fault-free run: "
+            f"{'YES' if self.identical else 'NO'}",
+            f"  jobs lost: {len(self.failures)}"
+            + (f" ({', '.join(self.failures)})" if self.failures else ""),
+            f"  injected faults: {int(self.injected_total)}",
+        ]
+        for name, value in sorted(self.injected.items()):
+            lines.append(f"    {name} = {int(value)}")
+        eng = self.engine
+        lines.append(
+            f"  engine: retries={eng.get('retries', 0)} "
+            f"timeouts={eng.get('timeouts', 0)} "
+            f"crashes={eng.get('crashes', 0)} "
+            f"pool_rebuilds={eng.get('pool_rebuilds', 0)} "
+            f"inline_fallbacks={eng.get('inline_fallbacks', 0)}")
+        lines.append(f"  cache entries quarantined by fsck: "
+                     f"{self.quarantined}")
+        lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def run_chaos(*, smoke: bool = True, scale: float = 1.0, seed: int = 0,
+              workers: int = 2, timeout: float = 30.0,
+              max_jobs: int | None = None,
+              plan: FaultPlan | None = None) -> ChaosReport:
+    """Run the suite fault-free and under faults; compare and report."""
+    from repro.perf.cache import RunCache
+    from repro.perf.engine import figure_suite_jobs, job_key, \
+        run_jobs_report
+
+    jobs = figure_suite_jobs(scale, smoke=smoke)
+    if max_jobs is not None:
+        jobs = jobs[:max(1, max_jobs)]
+    keys = [job_key(j) for j in jobs]
+    if plan is None:
+        plan = default_plan(keys, seed=seed, delay=max(600.0, timeout * 4))
+
+    base_dir = tempfile.mkdtemp(prefix="repro-chaos-base-")
+    fault_dir = tempfile.mkdtemp(prefix="repro-chaos-fault-")
+    faults.uninstall()  # the baseline must really be fault-free
+    try:
+        start = time.perf_counter()
+        baseline = run_jobs_report(jobs, workers=workers,
+                                   cache_dir=base_dir)
+        baseline_wall = time.perf_counter() - start
+
+        reset_resilience()
+        faults.install(plan)
+        try:
+            start = time.perf_counter()
+            faulted = run_jobs_report(jobs, workers=workers,
+                                      cache_dir=fault_dir,
+                                      timeout=timeout)
+            faulted_wall = time.perf_counter() - start
+        finally:
+            faults.uninstall()
+
+        # fsck sweeps up the corrupt payloads the plan planted.
+        fsck = RunCache(fault_dir).fsck()
+
+        snap = resilience_snapshot()
+        injected = {k: v for k, v in snap.items()
+                    if k.startswith("resilience.faults.injected.")}
+        report = ChaosReport(
+            jobs=len(jobs),
+            identical=(_canon(baseline.results) == _canon(faulted.results)
+                       and sorted(faulted.results) == sorted(keys)),
+            failures=[f.key for f in baseline.failures + faulted.failures],
+            injected=injected,
+            engine={
+                "retries": faulted.retries,
+                "timeouts": faulted.timeouts,
+                "crashes": faulted.crashes,
+                "pool_rebuilds": faulted.pool_rebuilds,
+                "inline_fallbacks": faulted.inline_fallbacks,
+            },
+            quarantined=fsck["quarantined"],
+            baseline_wall=baseline_wall,
+            faulted_wall=faulted_wall,
+            plan_json=plan.to_json(),
+        )
+        return report
+    finally:
+        shutil.rmtree(base_dir, ignore_errors=True)
+        shutil.rmtree(fault_dir, ignore_errors=True)
+
+
+__all__ = ["ChaosReport", "default_plan", "run_chaos"]

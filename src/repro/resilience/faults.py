@@ -1,0 +1,256 @@
+"""Deterministic, seeded fault injection.
+
+SparseCore's architecture specifies a precise hardware fault for every
+illegal stream condition (Sections 3.3/5.1 — mirrored in
+:mod:`repro.errors`); this module gives the *software* execution layer
+the same treatment.  A :class:`FaultPlan` is a seeded, serializable
+list of :class:`FaultPoint` rules; injection hooks threaded into the
+real code paths (cache reads/writes, dataset resolution, pool-worker
+execution) consult the plan and fire faults **deterministically**: the
+decision is a pure function of ``(plan seed, site, key, attempt)``, so
+a chaos run is exactly reproducible and a bounded-``times`` fault is
+guaranteed transient (retries at higher attempt numbers succeed).
+
+Sites (where hooks live):
+
+* ``worker.exec``    — top of the engine's job worker (key = job key),
+* ``cache.read``     — ``RunCache.get`` (key = cache fingerprint),
+* ``cache.write``    — ``RunCache.put`` (key = cache fingerprint),
+* ``dataset.resolve``— the run pipeline's dataset resolution
+  (key = ``<workload>:<dataset>``).
+
+Kinds (what fires):
+
+* ``oserror`` — raise a transient :class:`InjectedOSError`,
+* ``crash``   — ``os._exit`` the current *pool worker* process
+  (suppressed outside sacrificial workers, so the inline fallback and
+  serial paths can never kill the parent),
+* ``hang``    — sleep ``delay`` seconds in a pool worker (suppressed
+  elsewhere), tripping the engine's per-job timeout,
+* ``corrupt`` — returned to the caller, which mangles the payload
+  bytes (bit-rot simulation; checksums catch it on read).
+
+A plan is activated either in-process via :func:`install` or through
+the ``REPRO_FAULT_PLAN`` environment variable (JSON), which pool
+workers inherit — so CI can chaos-test the real multi-process paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.resilience.metrics import RES_COUNTERS
+
+#: Environment variable holding the active plan as JSON.
+ENV_PLAN = "REPRO_FAULT_PLAN"
+
+SITES = ("cache.read", "cache.write", "dataset.resolve", "worker.exec")
+KINDS = ("crash", "hang", "oserror", "corrupt")
+
+#: Kinds that may only fire inside a sacrificial pool worker.
+_POOL_ONLY_KINDS = ("crash", "hang")
+
+#: Exit status of an injected worker crash (visible in pool diagnostics).
+CRASH_EXIT_CODE = 23
+
+
+class InjectedFault:
+    """Marker mixin: this failure came from the fault plan, not nature."""
+
+
+class InjectedOSError(InjectedFault, OSError):
+    """A transient, injected I/O failure (retry should succeed)."""
+
+    def __init__(self, site: str = "?", key: str = "?",
+                 kind: str = "oserror"):
+        super().__init__(f"injected {kind} at {site} ({key})")
+        self.site = site
+        self.key = key
+        self.kind = kind
+
+    def __reduce__(self):
+        # Keep site/key/kind across pickling (pool worker -> parent).
+        return (type(self), (self.site, self.key, self.kind))
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One injection rule: where, what, whom, and for how many attempts.
+
+    ``match`` is a substring filter on the site key (``""`` matches
+    every key); ``rate`` thins matching keys by a deterministic seeded
+    draw; ``times`` bounds firing to attempts ``< times`` (so a
+    ``times=1`` fault is transient: the first retry clears it);
+    ``delay`` is the hang duration in seconds.
+    """
+
+    site: str
+    kind: str
+    match: str = ""
+    rate: float = 1.0
+    times: int = 1
+    delay: float = 600.0
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; "
+                             f"expected one of {SITES}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault points, serializable to/from JSON."""
+
+    seed: int = 0
+    points: tuple[FaultPoint, ...] = ()
+
+    def draw(self, site: str, key: str) -> float:
+        """Deterministic uniform [0, 1) draw for (seed, site, key)."""
+        blob = f"{self.seed}|{site}|{key}".encode()
+        digest = hashlib.sha256(blob).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    def pick(self, site: str, key: str, attempt: int) -> FaultPoint | None:
+        """First point that fires at this (site, key, attempt), if any."""
+        for point in self.points:
+            if point.site != site or point.match not in key:
+                continue
+            if attempt >= point.times:
+                continue
+            if point.rate < 1.0 and self.draw(site, key) >= point.rate:
+                continue
+            return point
+        return None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "points": [{"site": p.site, "kind": p.kind, "match": p.match,
+                        "rate": p.rate, "times": p.times, "delay": p.delay}
+                       for p in self.points],
+        }, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(seed=int(data.get("seed", 0)),
+                   points=tuple(FaultPoint(**p)
+                                for p in data.get("points", ())))
+
+
+# -- activation (env + in-process cache) -----------------------------------
+
+#: Cached parse of the env plan: (raw env string, parsed plan or None).
+_cached: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or ``None`` (the fast path)."""
+    global _cached
+    raw = os.environ.get(ENV_PLAN)
+    if not raw:
+        return None
+    if raw != _cached[0]:
+        try:
+            _cached = (raw, FaultPlan.from_json(raw))
+        except (ValueError, TypeError, KeyError):
+            _cached = (raw, None)  # unparseable plan: inject nothing
+    return _cached[1]
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` for this process and future pool workers."""
+    os.environ[ENV_PLAN] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Deactivate any installed plan."""
+    os.environ.pop(ENV_PLAN, None)
+
+
+# -- per-process execution context -----------------------------------------
+
+_current_attempt = 0
+_in_pool_worker = False
+
+
+def set_attempt(attempt: int) -> None:
+    """Record the engine attempt number driving ``times`` semantics."""
+    global _current_attempt
+    _current_attempt = attempt
+
+
+def current_attempt() -> int:
+    return _current_attempt
+
+
+def mark_pool_worker() -> None:
+    """Pool initializer: this process may be crashed/hung by faults."""
+    global _in_pool_worker
+    _in_pool_worker = True
+
+
+def in_pool_worker() -> bool:
+    return _in_pool_worker
+
+
+# -- the injection hook ----------------------------------------------------
+
+def corrupt_bytes(payload: bytes) -> bytes:
+    """Deterministically flip one mid-payload byte (simulated bit rot)."""
+    if not payload:
+        return payload
+    mangled = bytearray(payload)
+    mangled[len(mangled) // 2] ^= 0xFF
+    return bytes(mangled)
+
+
+def inject(site: str, key: str, attempt: int | None = None):
+    """Consult the active plan at one site; act on whatever fires.
+
+    Returns ``None`` when nothing fires (the overwhelmingly common
+    case: one env lookup).  ``oserror`` raises; ``crash``/``hang``
+    only act inside pool workers (elsewhere they are no-ops, so the
+    inline fallback path is always safe); ``corrupt`` returns the
+    fired :class:`FaultPoint` for the caller to mangle its payload.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    if attempt is None:
+        attempt = _current_attempt
+    point = plan.pick(site, key, attempt)
+    if point is None:
+        return None
+    if point.kind in _POOL_ONLY_KINDS and not _in_pool_worker:
+        return None
+    RES_COUNTERS.inc(f"resilience.faults.injected.{site}.{point.kind}")
+    if point.kind == "oserror":
+        raise InjectedOSError(site, key)
+    if point.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if point.kind == "hang":
+        time.sleep(point.delay)
+        return None
+    return point  # corrupt: caller applies corrupt_bytes()
+
+
+__all__ = [
+    "CRASH_EXIT_CODE", "ENV_PLAN", "FaultPlan", "FaultPoint",
+    "InjectedFault", "InjectedOSError", "KINDS", "SITES", "active_plan",
+    "corrupt_bytes", "current_attempt", "in_pool_worker", "inject",
+    "install", "mark_pool_worker", "set_attempt", "uninstall",
+]

@@ -1,0 +1,46 @@
+"""Process-wide resilience counters.
+
+One shared :class:`~repro.obs.counters.Counters` registry records every
+fault-tolerance event in the process — injected faults, engine retries
+and fallbacks, cache quarantines and repairs — under the
+``resilience.`` prefix:
+
+* ``resilience.faults.injected.<site>.<kind>`` — fault-plan firings,
+* ``resilience.engine.{retries,timeouts,crashes,pool_rebuilds,
+  inline_fallbacks,failures}`` — hardened-engine events,
+* ``resilience.cache.{read_errors,write_errors,checksum_mismatch,
+  corrupt_writes,quarantined,quarantined_files}`` — cache hardening.
+
+Pool workers accumulate into their own process-local copy; the engine
+ships each job's counter *delta* back with its result and merges it
+here, so the parent's registry reflects the whole run.  Fault-free runs
+increment nothing — every counter is event-driven, which keeps the
+observability contract (serial == parallel counter totals) intact.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import Counters
+
+#: The process-global resilience registry.
+RES_COUNTERS = Counters()
+
+
+def resilience_snapshot() -> dict[str, float]:
+    """Flat name-sorted snapshot of every resilience counter."""
+    return RES_COUNTERS.flat()
+
+
+def merge_resilience(flat: dict[str, float]) -> None:
+    """Fold a worker-side counter delta into the process registry."""
+    for name, value in flat.items():
+        RES_COUNTERS.inc(name, value)
+
+
+def reset_resilience() -> None:
+    """Zero the registry (chaos runs and tests)."""
+    RES_COUNTERS.reset()
+
+
+__all__ = ["RES_COUNTERS", "merge_resilience", "reset_resilience",
+           "resilience_snapshot"]

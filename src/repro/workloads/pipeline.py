@@ -138,8 +138,13 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     ``price=False`` the metrics step is skipped (callers that do their
     own pricing, e.g. the profiler, use the trace directly).
     """
+    from repro.resilience.faults import inject
+
     spec = get_workload(workload) if isinstance(workload, str) else workload
     dspec = spec.resolve_dataset(dataset)
+    # Chaos-test hook: an active fault plan may raise a transient
+    # (injected) OSError here, exercising the engine's retry path.
+    inject("dataset.resolve", f"{spec.name}:{dspec.key}")
     scale = scale if spec.dataset_kind == "graph" else 1.0
 
     key = run_fingerprint(spec, dspec, scale) if cache is not None else None

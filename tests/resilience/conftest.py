@@ -1,0 +1,18 @@
+"""Resilience-suite hygiene: no plan, counters, or warnings leak."""
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.knobs import reset_knob_warnings
+from repro.resilience.metrics import reset_resilience
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    faults.uninstall()
+    reset_resilience()
+    reset_knob_warnings()
+    yield
+    faults.uninstall()
+    reset_resilience()
+    reset_knob_warnings()

@@ -1,0 +1,72 @@
+"""The chaos harness and its CLI surface (`repro chaos`, `cache fsck`)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.resilience.chaos import default_plan, run_chaos
+
+SCALE = 0.2
+
+
+class TestDefaultPlan:
+    def test_empty_job_list(self):
+        assert default_plan([]).points == ()
+
+    def test_targets_derived_from_seed(self):
+        keys = ["a", "b", "c"]
+        plan0 = default_plan(keys, seed=0)
+        plan1 = default_plan(keys, seed=1)
+        assert plan0 == default_plan(keys, seed=0)
+        crash0 = next(p for p in plan0.points if p.kind == "crash")
+        crash1 = next(p for p in plan1.points if p.kind == "crash")
+        assert crash0.match == "a" and crash1.match == "b"
+
+
+class TestRunChaos:
+    def test_smoke_subset_is_ok(self):
+        report = run_chaos(smoke=True, scale=SCALE, max_jobs=2,
+                           workers=2, timeout=10.0)
+        assert report.identical
+        assert not report.failures
+        assert report.injected_total > 0
+        assert report.engine["retries"] > 0
+        assert report.quarantined > 0
+        assert report.ok
+        rendered = report.render()
+        assert "verdict: OK" in rendered
+        assert "bit-identical to fault-free run: YES" in rendered
+        payload = report.to_json()
+        assert payload["ok"] is True
+        assert payload["jobs"] == 2
+        assert payload["plan"]["points"]
+
+
+class TestChaosCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "--smoke"])
+        assert args.smoke and args.seed == 0
+        assert args.jobs == 2 and args.timeout == 30.0
+
+    def test_chaos_command_json(self, capsys):
+        assert main(["chaos", "--smoke", "--max-jobs", "2",
+                     "--scale", str(SCALE), "--timeout", "10",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["metrics_bit_identical"] is True
+
+
+class TestCacheFsckCLI:
+    def test_fsck_clean_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        assert main(["cache", "fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_fsck_action_accepted_by_parser(self):
+        args = build_parser().parse_args(["cache", "fsck"])
+        assert args.action == "fsck"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nonsense"])

@@ -1,0 +1,179 @@
+"""Deterministic fault injection: plans, picks, and the inject hook."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultPoint,
+    InjectedFault,
+    InjectedOSError,
+    active_plan,
+    corrupt_bytes,
+    inject,
+    install,
+    uninstall,
+)
+from repro.resilience.metrics import RES_COUNTERS, resilience_snapshot
+
+
+class TestFaultPoint:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPoint("disk.read", "oserror")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPoint("cache.read", "meltdown")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPoint("cache.read", "oserror", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultPoint("cache.read", "oserror", rate=-0.1)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultPoint("cache.read", "oserror", times=-1)
+
+
+class TestFaultPlan:
+    def test_pick_is_deterministic(self):
+        plan = FaultPlan(seed=7, points=(
+            FaultPoint("worker.exec", "oserror", rate=0.5, times=3),))
+        picks = [plan.pick("worker.exec", f"job-{i}", 0) for i in range(40)]
+        again = [plan.pick("worker.exec", f"job-{i}", 0) for i in range(40)]
+        assert picks == again
+        fired = sum(p is not None for p in picks)
+        assert 0 < fired < 40  # rate=0.5 thins, deterministically
+
+    def test_seed_changes_draws(self):
+        keys = [f"job-{i}" for i in range(64)]
+        a = FaultPlan(seed=1)
+        b = FaultPlan(seed=2)
+        assert [a.draw("worker.exec", k) for k in keys] \
+            != [b.draw("worker.exec", k) for k in keys]
+        assert all(0.0 <= a.draw("worker.exec", k) < 1.0 for k in keys)
+
+    def test_match_filters_keys(self):
+        plan = FaultPlan(points=(
+            FaultPoint("worker.exec", "oserror", match="gpm:T:"),))
+        assert plan.pick("worker.exec", "gpm:T:C:1.0", 0) is not None
+        assert plan.pick("worker.exec", "tensor:ttv:Ch", 0) is None
+
+    def test_times_bounds_attempts(self):
+        plan = FaultPlan(points=(
+            FaultPoint("worker.exec", "oserror", times=2),))
+        assert plan.pick("worker.exec", "k", 0) is not None
+        assert plan.pick("worker.exec", "k", 1) is not None
+        assert plan.pick("worker.exec", "k", 2) is None
+
+    def test_site_mismatch_never_fires(self):
+        plan = FaultPlan(points=(FaultPoint("cache.read", "oserror"),))
+        assert plan.pick("worker.exec", "k", 0) is None
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=3, points=(
+            FaultPoint("worker.exec", "crash", match="gpm:", times=1),
+            FaultPoint("cache.write", "corrupt", rate=0.25, times=9),
+            FaultPoint("worker.exec", "hang", delay=12.5),
+        ))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestActivation:
+    def test_no_plan_is_a_fast_path(self):
+        assert active_plan() is None
+        assert inject("worker.exec", "anything") is None
+        assert resilience_snapshot() == {}
+
+    def test_install_uninstall(self):
+        plan = FaultPlan(seed=5, points=(
+            FaultPoint("cache.read", "oserror"),))
+        install(plan)
+        try:
+            assert active_plan() == plan
+        finally:
+            uninstall()
+        assert active_plan() is None
+
+    def test_unparseable_env_plan_injects_nothing(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_PLAN, "{not json")
+        assert active_plan() is None
+        assert inject("worker.exec", "k") is None
+
+
+class TestInject:
+    def test_oserror_raises_with_provenance(self):
+        install(FaultPlan(points=(
+            FaultPoint("dataset.resolve", "oserror", times=1),)))
+        with pytest.raises(InjectedOSError) as err:
+            inject("dataset.resolve", "triangle:C", attempt=0)
+        assert err.value.site == "dataset.resolve"
+        assert err.value.key == "triangle:C"
+        assert isinstance(err.value, InjectedFault)
+        assert isinstance(err.value, OSError)
+        flat = resilience_snapshot()
+        assert flat[
+            "resilience.faults.injected.dataset.resolve.oserror"] == 1
+
+    def test_transient_clears_on_retry(self):
+        install(FaultPlan(points=(
+            FaultPoint("worker.exec", "oserror", times=1),)))
+        with pytest.raises(InjectedOSError):
+            inject("worker.exec", "k", attempt=0)
+        assert inject("worker.exec", "k", attempt=1) is None
+
+    def test_crash_and_hang_inert_outside_pool_workers(self):
+        # os._exit / a 600 s sleep firing here would end the test run;
+        # both kinds must no-op (and count nothing) in the parent.
+        assert not faults.in_pool_worker()
+        install(FaultPlan(points=(
+            FaultPoint("worker.exec", "crash", times=99),
+            FaultPoint("worker.exec", "hang", times=99),
+        )))
+        assert inject("worker.exec", "k", attempt=0) is None
+        assert resilience_snapshot() == {}
+
+    def test_corrupt_returns_point_for_caller(self):
+        install(FaultPlan(points=(
+            FaultPoint("cache.write", "corrupt", times=1),)))
+        point = inject("cache.write", "abc123", attempt=0)
+        assert point is not None and point.kind == "corrupt"
+        assert resilience_snapshot()[
+            "resilience.faults.injected.cache.write.corrupt"] == 1
+
+    def test_attempt_defaults_to_engine_context(self):
+        install(FaultPlan(points=(
+            FaultPoint("cache.read", "oserror", times=1),)))
+        faults.set_attempt(1)
+        try:
+            assert inject("cache.read", "k") is None  # attempt 1 >= times
+        finally:
+            faults.set_attempt(0)
+        with pytest.raises(InjectedOSError):
+            inject("cache.read", "k")
+
+
+class TestHelpers:
+    def test_corrupt_bytes_flips_and_restores(self):
+        payload = bytes(range(32))
+        mangled = corrupt_bytes(payload)
+        assert mangled != payload
+        assert len(mangled) == len(payload)
+        assert corrupt_bytes(mangled) == payload  # XOR is an involution
+        assert corrupt_bytes(b"") == b""
+
+    def test_injected_oserror_pickles_with_attrs(self):
+        exc = InjectedOSError("worker.exec", "gpm:T:C:1.0", "oserror")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, InjectedOSError)
+        assert (clone.site, clone.key, clone.kind) \
+            == ("worker.exec", "gpm:T:C:1.0", "oserror")
+
+    def test_counter_registry_is_additive(self):
+        RES_COUNTERS.inc("resilience.engine.retries")
+        RES_COUNTERS.inc("resilience.engine.retries")
+        assert resilience_snapshot()["resilience.engine.retries"] == 2
