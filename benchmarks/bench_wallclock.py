@@ -6,13 +6,21 @@ bit-identical metrics, and records stream-ops/sec and runs/sec for each
 mode in ``BENCH_wallclock.json`` at the repository root so harness
 performance can be diffed across commits.
 
+Two recording-backend checks ride along: a fourth cold phase recorded
+under the *other* backend (rows vs columnar) must match the first three
+bit-exactly, and a recording-bound microbenchmark times the two
+backends head-to-head on an identical synthetic op sequence (freezing
+to byte-identical traces), asserting the columnar backend's speedup in
+full mode.
+
 Modelled *cycles* never change between modes (that is asserted); what
 this benchmark tracks is how fast the pure-Python harness itself
 produces them.
 
-Run directly (CI uses ``--smoke``)::
+Run directly (CI uses ``--smoke``, once per backend)::
 
     python benchmarks/bench_wallclock.py [--smoke] [--jobs N] [--scale S]
+                                         [--backend {rows,columnar}]
 
 or via ``pytest benchmarks/bench_wallclock.py`` for the smoke variant.
 """
@@ -35,6 +43,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: Ratios the full benchmark asserts (ISSUE 4 acceptance criteria).
 WARM_MIN_SPEEDUP = 3.0
 PARALLEL_MIN_SPEEDUP = 1.5
+#: Columnar-over-rows recording speedup the full benchmark asserts on
+#: the recording-bound microbench (ISSUE 7 acceptance criteria).
+RECORDING_MIN_SPEEDUP = 5.0
 
 
 def _canon(x):
@@ -50,37 +61,120 @@ def _canon(x):
     return x
 
 
-def _timed_run(jobs, *, workers: int, cache_dir) -> tuple[float, dict]:
+def _timed_run(jobs, *, workers: int, cache_dir,
+               backend: str | None = None) -> tuple[float, dict]:
     from repro.perf.engine import run_jobs
 
     start = time.perf_counter()
-    results = run_jobs(jobs, workers=workers, cache_dir=cache_dir)
+    results = run_jobs(jobs, workers=workers, cache_dir=cache_dir,
+                       backend=backend)
     return time.perf_counter() - start, results
 
 
-def run_phases(*, smoke: bool, workers: int, scale: float) -> dict:
-    """Cold-serial / cold-parallel / warm-serial over one job list."""
+def recording_microbench(*, n_ops: int, repeats: int = 1,
+                         seed: int = 0) -> dict:
+    """Time the two recording backends on one identical op sequence.
+
+    A recording-bound workload distilled to its essence: no kernels, no
+    memory model — each backend records the same pre-generated stream
+    ops (sorted key arrays, mixed kinds and bounds, sizes around real
+    neighbor-list lengths) and freezes.  The frozen traces must
+    serialize byte-identically; the report carries both wall-clocks and
+    their ratio (min over ``repeats`` to damp timer noise).
+    """
+    import io
+
+    from repro.arch.trace import OpKind, Trace
+    from repro.record.columnar import ColumnarTrace
+    from repro.streams.runstats import UNBOUNDED, analyze_pair
+
+    rng = np.random.default_rng(seed)
+    kinds = (OpKind.INTERSECT, OpKind.SUBTRACT, OpKind.MERGE)
+    plan = []
+    for i in range(n_ops):
+        na, nb = rng.integers(52, 88, size=2)
+        a = np.unique(rng.integers(0, 3600, na).astype(np.int64))
+        b = np.unique(rng.integers(0, 3600, nb).astype(np.int64))
+        bound = int(rng.integers(1, 3600)) if rng.random() < 0.12 \
+            else UNBOUNDED
+        plan.append((kinds[i % 3], a, b, bound))
+
+    def record_rows():
+        trace = Trace("bench-recording")
+        for kind, a, b, bound in plan:
+            trace.add_op(kind, analyze_pair(a, b, bound))
+        return trace.freeze()
+
+    def record_columnar():
+        trace = ColumnarTrace("bench-recording")
+        for kind, a, b, bound in plan:
+            trace.add_op_keys(kind, a, b, bound)
+        return trace.freeze()
+
+    def best(record):
+        times, frozen = [], None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            frozen = record()
+            times.append(time.perf_counter() - start)
+        return min(times), frozen
+
+    rows_s, rows_trace = best(record_rows)
+    col_s, col_trace = best(record_columnar)
+    rows_buf, col_buf = io.BytesIO(), io.BytesIO()
+    rows_trace.save(rows_buf)
+    col_trace.save(col_buf)
+    return {
+        "n_ops": n_ops,
+        "rows_s": round(rows_s, 3),
+        "columnar_s": round(col_s, 3),
+        "ops_per_s_rows": round(n_ops / rows_s, 1),
+        "ops_per_s_columnar": round(n_ops / col_s, 1),
+        "columnar_speedup": round(rows_s / col_s, 2),
+        "bit_identical": rows_buf.getvalue() == col_buf.getvalue(),
+    }
+
+
+def run_phases(*, smoke: bool, workers: int, scale: float,
+               backend: str = "rows") -> dict:
+    """Cold-serial / cold-parallel / warm-serial over one job list.
+
+    All three phases record under ``backend``; a fourth cold-serial
+    phase records under the *other* backend and must produce
+    bit-identical metrics (the cross-backend differential check).
+    """
     from repro.perf.engine import figure_suite_jobs, job_key
 
+    other = "columnar" if backend == "rows" else "rows"
     jobs = figure_suite_jobs(scale, smoke=smoke)
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         root = pathlib.Path(tmp)
         cold_serial_s, serial = _timed_run(
-            jobs, workers=1, cache_dir=root / "serial")
+            jobs, workers=1, cache_dir=root / "serial", backend=backend)
         cold_parallel_s, parallel = _timed_run(
-            jobs, workers=workers, cache_dir=root / "parallel")
+            jobs, workers=workers, cache_dir=root / "parallel",
+            backend=backend)
         # Warm: the serial cache dir already holds every trace.
         warm_serial_s, warm = _timed_run(
-            jobs, workers=1, cache_dir=root / "serial")
+            jobs, workers=1, cache_dir=root / "serial", backend=backend)
+        cold_other_s, other_results = _timed_run(
+            jobs, workers=1, cache_dir=root / "other", backend=other)
 
     if not (_canon(serial) == _canon(parallel) == _canon(warm)):
         raise AssertionError(
             "metrics differ between serial / parallel / warm runs")
+    if _canon(serial) != _canon(other_results):
+        raise AssertionError(
+            f"metrics differ between the {backend} and {other} "
+            f"recording backends")
+
+    micro = recording_microbench(n_ops=2_000 if smoke else 20_000,
+                                 repeats=1 if smoke else 3)
 
     stream_ops = sum(m["num_ops"] for m in serial.values())
     n_runs = len(serial)
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "mode": "smoke" if smoke else "full",
         "machine": {
             "cpu_count": os.cpu_count() or 1,
@@ -92,12 +186,14 @@ def run_phases(*, smoke: bool, workers: int, scale: float) -> dict:
             "scale": scale,
             "runs": n_runs,
             "stream_ops": stream_ops,
+            "backend": backend,
             "jobs": sorted(job_key(j) for j in jobs),
         },
         "timings_s": {
             "cold_serial": round(cold_serial_s, 3),
             "cold_parallel": round(cold_parallel_s, 3),
             "warm_serial": round(warm_serial_s, 3),
+            f"cold_serial_{other}": round(cold_other_s, 3),
         },
         "throughput": {
             "stream_ops_per_s_cold": round(stream_ops / cold_serial_s, 1),
@@ -110,7 +206,8 @@ def run_phases(*, smoke: bool, workers: int, scale: float) -> dict:
             "parallel_over_cold_serial":
                 round(cold_serial_s / cold_parallel_s, 2),
         },
-        "bit_identical": True,
+        "recording": micro,
+        "bit_identical": micro["bit_identical"],
     }
     return report
 
@@ -136,6 +233,17 @@ def check_ratios(report: dict) -> list[str]:
             f"faster than cold serial on "
             f"{report['machine']['cpu_count']} CPUs "
             f"(need >= {PARALLEL_MIN_SPEEDUP}x)")
+    micro = report["recording"]
+    if not micro["bit_identical"]:
+        failures.append(
+            "recording microbench traces are not byte-identical "
+            "between backends")
+    if report["mode"] == "full" \
+            and micro["columnar_speedup"] < RECORDING_MIN_SPEEDUP:
+        failures.append(
+            f"columnar recording only {micro['columnar_speedup']}x faster "
+            f"than row-tuple recording "
+            f"(need >= {RECORDING_MIN_SPEEDUP}x)")
     return failures
 
 
@@ -148,13 +256,17 @@ def main(argv=None) -> int:
                         help="workers for the parallel phase")
     parser.add_argument("--scale", type=float, default=0.2,
                         help="figure-suite scale factor")
+    parser.add_argument("--backend", default="rows",
+                        choices=["rows", "columnar"],
+                        help="recording backend for the main phases "
+                             "(the other backend runs the cross-check)")
     parser.add_argument("--out", default=None,
                         help="write the JSON report here instead of "
                              "BENCH_wallclock.json (full mode only)")
     args = parser.parse_args(argv)
 
     report = run_phases(smoke=args.smoke, workers=args.jobs,
-                        scale=args.scale)
+                        scale=args.scale, backend=args.backend)
     print(json.dumps(report, indent=2))
 
     failures = check_ratios(report)
@@ -186,6 +298,9 @@ def test_wallclock_smoke(once):
     assert report["bit_identical"]
     assert report["config"]["runs"] >= 4
     assert report["timings_s"]["warm_serial"] > 0
+    assert report["timings_s"]["cold_serial_columnar"] > 0
+    assert report["recording"]["bit_identical"]
+    assert report["recording"]["columnar_speedup"] > 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,11 @@ The stream family runs through five genuinely distinct paths:
     counting ops derive lengths from merge-run *analytics*
     (:func:`~repro.streams.runstats.analyze_pair`), not from the
     functional kernels;
+``machine_columnar``
+    the same machine on the deferred columnar recording backend
+    (:class:`~repro.record.columnar.ColumnarTrace`), whose batched
+    :func:`~repro.record.columnar.analyze_segments` analytics must
+    agree with every other path;
 ``executor``
     the instruction-level :class:`~repro.arch.executor.StreamExecutor`
     driven purely through the ISA — ``S_VREAD`` from a
@@ -260,7 +265,8 @@ def run_machine(case: StreamCase, machine=None) -> list:
     parity and attribution tests do)."""
     from repro.machine.context import Machine
 
-    machine = machine or Machine(name=f"difftest-{case.seed}")
+    machine = machine if machine is not None \
+        else Machine(name=f"difftest-{case.seed}")
     graph = case.graph()
     slots: list = []
     for i, inp in enumerate(case.inputs):
@@ -404,11 +410,28 @@ def run_executor(case: StreamCase) -> list:
     return results
 
 
+def run_machine_columnar(case: StreamCase) -> list:
+    """The machine on the columnar recording backend.
+
+    Counting ops answer through the functional kernels while the
+    *recording* is deferred into :func:`analyze_segments` batches —
+    freezing afterwards proves the batched analytics agree with the
+    inline row path on real op sequences (the value checks here, the
+    trace-byte checks in tests/record/)."""
+    from repro.machine.context import Machine
+
+    machine = Machine(name=f"difftest-{case.seed}", backend="columnar")
+    results = run_machine(case, machine)
+    machine.trace.freeze()  # exercise the batch analyzer end-to-end
+    return results
+
+
 STREAM_BACKENDS = {
     "functional": run_functional,
     "pyref": run_pyref,
     "stream_unit": run_stream_unit,
     "machine": run_machine,
+    "machine_columnar": run_machine_columnar,
     "executor": run_executor,
 }
 
@@ -426,15 +449,16 @@ def gpm_bruteforce(case: GpmCase):
     return ("count", int(count))
 
 
-def _gpm_plan(case: GpmCase, use_nested: bool):
+def _gpm_plan(case: GpmCase, use_nested: bool, backend: str = "rows"):
     from repro.gpm.compiler import compile_pattern
     from repro.machine.context import Machine
 
     compiled = compile_pattern(case.pattern(),
                                vertex_induced=case.vertex_induced,
                                use_nested=use_nested)
-    count = compiled.count(case.graph(),
-                           Machine(name=f"difftest-{case.seed}"))
+    machine = Machine(name=f"difftest-{case.seed}", backend=backend)
+    count = compiled.count(case.graph(), machine)
+    machine.trace.freeze()  # columnar: force the deferred batch analysis
     return ("count", int(count))
 
 
@@ -444,6 +468,11 @@ def gpm_plan(case: GpmCase):
 
 def gpm_plan_nested(case: GpmCase):
     return _gpm_plan(case, use_nested=True)
+
+
+def gpm_plan_columnar(case: GpmCase):
+    """The nested plan recorded through the columnar backend."""
+    return _gpm_plan(case, use_nested=True, backend="columnar")
 
 
 def gpm_networkx(case: GpmCase):
@@ -470,6 +499,7 @@ GPM_BACKENDS = {
     "bruteforce": gpm_bruteforce,
     "plan": gpm_plan,
     "plan_nested": gpm_plan_nested,
+    "plan_columnar": gpm_plan_columnar,
     "networkx": gpm_networkx,
 }
 

@@ -60,8 +60,13 @@ from repro.resilience.metrics import RES_COUNTERS
 #: change in a way that invalidates previously stored runs.  v2:
 #: spec-derived fingerprints from the unified workload pipeline
 #: (:func:`repro.workloads.run_fingerprint`) replaced the per-family
-#: key builders.
-CACHE_FORMAT_VERSION = 2
+#: key builders.  v3: the recording backend joined the fingerprint
+#: params (:func:`repro.workloads.run_fingerprint` ``backend=``), so
+#: rows/columnar entries can never alias; the ``.npz`` trace layout
+#: itself is unchanged.  ``cache stats``/``fsck`` report a per-version
+#: histogram so a bump shows up as counted stale entries rather than a
+#: silent mass-miss.
+CACHE_FORMAT_VERSION = 3
 
 #: Sidecar schema version (the JSON next to each ``.npz``).  v2 added
 #: the ``payload_sha256`` content checksum (v1 sidecars, which lack it,
@@ -163,6 +168,9 @@ class CacheScan:
     orphan_payloads: list[Path] = field(default_factory=list)
     #: entry keys recorded under a different CACHE_FORMAT_VERSION
     stale: list[str] = field(default_factory=list)
+    #: entry count per recorded ``format_version`` (sidecars without
+    #: one — pre-v2 — count under ``"unversioned"``)
+    format_versions: dict = field(default_factory=dict)
     #: distinct entries currently held in ``quarantine/``
     quarantined: int = 0
     #: leftover ``*.tmp`` files from interrupted writers
@@ -381,7 +389,11 @@ class RunCache:
             claimed.add(path.stem)
             scan.entries.append(meta)
             scan.entry_keys.append(path.stem)
-            if meta.get("format_version") != CACHE_FORMAT_VERSION:
+            version = meta.get("format_version")
+            label = "unversioned" if version is None else f"v{version}"
+            scan.format_versions[label] = \
+                scan.format_versions.get(label, 0) + 1
+            if version != CACHE_FORMAT_VERSION:
                 scan.stale.append(path.stem)
         scan.orphan_payloads = [p for stem, p in sorted(payloads.items())
                                 if stem not in claimed]
@@ -419,6 +431,7 @@ class RunCache:
             "stream_ops": sum(int(m.get("num_ops", 0))
                               for m in scan.entries),
             "format_version": CACHE_FORMAT_VERSION,
+            "format_versions": dict(sorted(scan.format_versions.items())),
             "stale_entries": len(scan.stale),
             "corrupt_sidecars": len(scan.corrupt_sidecars),
             "orphan_sidecars": len(scan.orphan_sidecars),
@@ -469,6 +482,7 @@ class RunCache:
             "ok": ok,
             "corrupt": corrupt + len(scan.corrupt_sidecars),
             "stale": len(scan.stale),
+            "format_versions": dict(sorted(scan.format_versions.items())),
             "orphans": (len(scan.orphan_sidecars)
                         + len(scan.orphan_payloads)),
             "quarantined": quarantined,

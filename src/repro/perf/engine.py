@@ -180,12 +180,13 @@ def _execute_job(payload) -> tuple[str, dict, dict | None, dict]:
     """Top-level (picklable) worker: run one job, return its metrics.
 
     ``payload`` is ``(job, cache_root, use_disk_cache, collect_counters,
-    attempt)`` — primitives only, so the same function serves the
-    inline serial path and pool workers.  Returns the job key, its
+    attempt, backend)`` — primitives only, so the same function serves
+    the inline serial path and pool workers.  Returns the job key, its
     metrics, the optional workload-counter snapshot, and the delta of
     resilience counters this job produced (merged parent-side).
     """
-    job, cache_root, use_disk_cache, collect_counters, attempt = payload
+    job, cache_root, use_disk_cache, collect_counters, attempt, backend = \
+        payload
     from repro.obs.probe import Probe
     from repro.perf.cache import RunCache, default_run_cache
     from repro.workloads import run_workload, workload_for_app
@@ -206,7 +207,8 @@ def _execute_job(payload) -> tuple[str, dict, dict | None, dict]:
 
         spec = workload_for_app(job.kind, job.app)
         metrics = run_workload(spec, job.dataset, job.scale,
-                               cache=cache, probe=probe).metrics
+                               cache=cache, probe=probe,
+                               backend=backend).metrics
     finally:
         faults.set_attempt(0)
     counters = probe.counters.flat() if collect_counters else None
@@ -237,7 +239,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                     use_disk_cache: bool = True,
                     timeout: float | None = None,
                     retries: int | None = None,
-                    backoff: float | None = None) -> EngineReport:
+                    backoff: float | None = None,
+                    backend: str | None = None) -> EngineReport:
     """Execute ``jobs`` with retries/timeouts/fallbacks; full report.
 
     Duplicate jobs (same key) run once.  ``timeout``/``retries``/
@@ -246,6 +249,10 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
     into it in job-list order, so totals match a serial instrumented
     run exactly — retries never double-count.  No exception from a job
     escapes this function; failures land in ``report.failures``.
+    ``backend`` selects the recording backend for every job (rides in
+    the worker payload; job keys are backend-free because both backends
+    produce identical metrics — the disk cache distinguishes them via
+    the run fingerprint).
     """
     unique: dict[str, RunJob] = {}
     for job in jobs:
@@ -256,15 +263,19 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
     if n == 0:
         return report
 
+    from repro.record import normalize_backend
+
     cache_root = os.fspath(cache_dir) if cache_dir is not None else None
     collect = counters is not None
     retries = default_retries() if retries is None else max(0, int(retries))
     timeout = default_timeout() if timeout is None \
         else (float(timeout) if timeout and timeout > 0 else None)
     backoff = default_backoff() if backoff is None else max(0.0, float(backoff))
+    backend = normalize_backend(backend)
 
     def payload_for(i: int, attempt: int):
-        return (ordered[i], cache_root, use_disk_cache, collect, attempt)
+        return (ordered[i], cache_root, use_disk_cache, collect, attempt,
+                backend)
 
     attempts = [0] * n  # failed attempts charged so far, per job
     inline = [False] * n
@@ -440,6 +451,7 @@ def run_jobs(jobs, *, workers: int = 1, cache_dir=None,
              timeout: float | None = None,
              retries: int | None = None,
              backoff: float | None = None,
+             backend: str | None = None,
              strict: bool = False) -> dict[str, dict]:
     """Execute ``jobs``, serially or across ``workers`` processes.
 
@@ -453,7 +465,7 @@ def run_jobs(jobs, *, workers: int = 1, cache_dir=None,
                              counters=counters,
                              use_disk_cache=use_disk_cache,
                              timeout=timeout, retries=retries,
-                             backoff=backoff)
+                             backoff=backoff, backend=backend)
     if report.failures:
         summary = "; ".join(f"{f.key}: {f.error}: {f.message}"
                             for f in report.failures[:5])

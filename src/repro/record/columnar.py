@@ -1,0 +1,311 @@
+"""Columnar recording backend: whole-operation capture, batch analysis.
+
+The row-tuple :class:`~repro.arch.trace.Trace` pays one
+:func:`~repro.streams.runstats.analyze_pair` call per stream operation
+— a handful of numpy dispatches (or a pure-Python merge walk) whose
+fixed overhead dominates cold recording.  :class:`ColumnarTrace`
+decouples traversal from analysis instead: recording an op only stores
+references to its (bound-truncated) key arrays plus the scalar operands
+(kind, burst id, memory charges), and the merge-run statistics of *all*
+pending operations are computed in one vectorised pass at
+:meth:`ColumnarTrace.freeze` time (or earlier, when a compaction
+threshold bounds held memory).
+
+The batch analyser :func:`analyze_segments` concatenates every
+operand pair into two flat key arrays, offsetting each operation's keys
+by ``op_id * K`` (``K`` greater than any key) so one global sorted
+union interleaves all operations at once while keeping them disjoint.
+Per-op statistics then fall out of ``bincount`` aggregations over the
+union's source labels and run boundaries — the exact quantities
+:func:`~repro.streams.runstats.analyze_pair` defines, including the
+terminal-run exemption of the intersection cycle count.
+
+:meth:`ColumnarTrace.freeze` emits a regular
+:class:`~repro.arch.trace.FrozenTrace`: same columns, same dtypes, same
+values as the row backend, so serialized payloads are byte-identical
+and every downstream consumer (pricing, cost models, the run cache) is
+untouched.  The trace *file* format therefore stays at v2; what changes
+is the cache key schema (the recording backend is part of the
+fingerprint), tracked by
+:data:`~repro.perf.cache.CACHE_FORMAT_VERSION`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.trace import NO_BURST, FrozenTrace, OpKind
+from repro.streams.runstats import SU_BUFFER_WIDTH, UNBOUNDED, truncate_bound
+
+#: Pending key elements that trigger a partial compaction.  Bounds held
+#: memory (references pin operand arrays until analysed) and keeps every
+#: batch-analysis pass inside the last-level cache — large batches cost
+#: ~2x more per element from DRAM traffic alone (measured: 256k-element
+#: batches analyse at ~110ns/elem, 64k batches at ~75ns/elem).
+COMPACT_ELEMS = 65_536
+
+#: Column dtypes in :data:`repro.arch.trace._ARRAY_FIELDS` order.
+_COL_DTYPES = (np.int8, np.int64, np.int64, np.int64, np.int64, np.int64,
+               np.int64, np.int64, np.bool_, np.float64, np.float64)
+
+
+def analyze_segments(a_list, b_list, width: int = SU_BUFFER_WIDTH):
+    """Batched :func:`~repro.streams.runstats.analyze_pair` over n ops.
+
+    ``a_list``/``b_list`` hold the *effective* (already bound-truncated)
+    sorted key arrays of each operation.  Returns seven aligned int64
+    columns: ``eff_a``, ``eff_b``, ``n_union``, ``n_matches``,
+    ``n_runs``, ``su_cycles_intersect``, ``su_cycles_submerge`` —
+    value-identical to calling ``analyze_pair`` per op.
+    """
+    n = len(a_list)
+    na = np.fromiter((a.size for a in a_list), count=n, dtype=np.int64)
+    nb = np.fromiter((b.size for b in b_list), count=n, dtype=np.int64)
+    n_union = np.zeros(n, dtype=np.int64)
+    n_matches = np.zeros(n, dtype=np.int64)
+    n_runs = np.zeros(n, dtype=np.int64)
+    su_int = np.zeros(n, dtype=np.int64)
+    su_sub = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return na, nb, n_union, n_matches, n_runs, su_int, su_sub
+
+    A = np.concatenate(a_list) if na.sum() else np.empty(0, dtype=np.int64)
+    B = np.concatenate(b_list) if nb.sum() else np.empty(0, dtype=np.int64)
+    if A.size == 0 and B.size == 0:
+        return na, nb, n_union, n_matches, n_runs, su_int, su_sub
+    A = A.astype(np.int64, copy=False)
+    B = B.astype(np.int64, copy=False)
+
+    kmax = max(A.max() if A.size else 0, B.max() if B.size else 0)
+    kmin = min(A.min() if A.size else 0, B.min() if B.size else 0)
+    shift = -int(kmin) if kmin < 0 else 0
+    K = int(kmax) + shift + 1
+    if n > 1 and K > (2 ** 62) // n:
+        # Offsets would overflow int64: split the batch and recurse.
+        mid = n // 2
+        left = analyze_segments(a_list[:mid], b_list[:mid], width)
+        right = analyze_segments(a_list[mid:], b_list[mid:], width)
+        return tuple(np.concatenate((lo, hi))
+                     for lo, hi in zip(left, right))
+
+    op_ids = np.arange(n, dtype=np.int64) * K
+    A2 = A + np.repeat(op_ids, na) + shift
+    B2 = B + np.repeat(op_ids, nb) + shift
+
+    # The offsets make A2 and B2 *globally* strictly increasing, so the
+    # union of all ops falls out of three binary searches: find B keys
+    # present in A (matches), then each side's merge rank (its own index
+    # plus the count of other-side-exclusive keys before it).
+    posB = np.searchsorted(A2, B2)
+    matchB = np.zeros(B2.size, dtype=bool)
+    inside = posB < A2.size
+    matchB[inside] = A2[posB[inside]] == B2[inside]
+    b_only = B2[~matchB]
+    posA_u = np.arange(A2.size, dtype=np.int64) \
+        + np.searchsorted(b_only, A2)
+    posB_u = np.arange(b_only.size, dtype=np.int64) \
+        + np.searchsorted(A2, b_only)
+    union = np.empty(A2.size + b_only.size, dtype=np.int64)
+    union[posA_u] = A2
+    union[posB_u] = b_only
+    src = np.empty(union.size, dtype=np.int8)  # 1=A, 2=B, 3=both
+    srcA = np.ones(A2.size, dtype=np.int8)
+    srcA[posB[matchB]] = 3
+    src[posA_u] = srcA
+    src[posB_u] = 2
+    op_u = union // K
+
+    n_matches = np.bincount(
+        np.repeat(np.arange(n, dtype=np.int64), nb)[matchB], minlength=n)
+    n_union = na + nb - n_matches
+
+    # Run boundaries: the source changes *or* a new operation starts.
+    change = np.empty(union.size, dtype=bool)
+    change[0] = True
+    np.logical_or(src[1:] != src[:-1], op_u[1:] != op_u[:-1],
+                  out=change[1:])
+    run_starts = np.flatnonzero(change)
+    run_lens = np.diff(np.append(run_starts, union.size))
+    run_src = src[run_starts]
+    run_op = op_u[run_starts]
+    n_runs = np.bincount(run_op, minlength=n)
+
+    windowed = -(run_lens // -width)  # ceil div, int64 throughout
+    su_sub = np.bincount(run_op, weights=windowed,
+                         minlength=n).astype(np.int64)
+    nonmatch = run_src != 3
+    su_int = np.bincount(run_op[nonmatch], weights=windowed[nonmatch],
+                         minlength=n).astype(np.int64) + n_matches
+    # Terminal single-source run of each op is free for intersections
+    # (the SU halts once either operand is exhausted) — same exemption
+    # analyze_pair applies to its last run.
+    last = np.empty(run_op.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(run_op[1:], run_op[:-1], out=last[:-1])
+    term = last & nonmatch
+    su_int[run_op[term]] -= windowed[term]
+
+    return na, nb, n_union, n_matches, n_runs, su_int, su_sub
+
+
+class ColumnarTrace:
+    """Deferred-analysis trace with the :class:`Trace` recording API.
+
+    Scalar accounting (:meth:`add_scalar` and friends), burst ids, and
+    :meth:`freeze` behave exactly like the row backend; the per-op
+    entry point is :meth:`add_op_keys`, which captures operand *arrays*
+    instead of pre-computed :class:`~repro.streams.runstats.OpStats`.
+    """
+
+    backend = "columnar"
+
+    __slots__ = ("name", "shared_scalar_instrs", "cpu_only_scalar_instrs",
+                 "sc_only_scalar_instrs", "_next_burst", "_frozen",
+                 "_width", "_compact_elems", "_pending", "_append_pending",
+                 "_pending_elems", "_segments", "_n_ops")
+
+    def __init__(self, name: str = "trace", *,
+                 width: int = SU_BUFFER_WIDTH,
+                 compact_elems: int = COMPACT_ELEMS):
+        self.name = name
+        self.shared_scalar_instrs = 0
+        self.cpu_only_scalar_instrs = 0
+        self.sc_only_scalar_instrs = 0
+        self._next_burst = 0
+        self._frozen: FrozenTrace | None = None
+        self._width = width
+        self._compact_elems = compact_elems
+        #: deferred ops: (kind, a_eff, b_eff, burst, nested, cpu_mem,
+        #: sc_mem, flop_pairs)
+        self._pending: list[tuple] = []
+        self._append_pending = self._pending.append
+        self._pending_elems = 0
+        #: analysed column batches, each a tuple of 11 arrays in
+        #: _ARRAY_FIELDS order
+        self._segments: list[tuple] = []
+        self._n_ops = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def new_burst(self) -> int:
+        """Allocate a burst id (ops sharing it are independent work)."""
+        self._next_burst += 1
+        return self._next_burst
+
+    def add_op_keys(self, kind: OpKind, a_keys: np.ndarray,
+                    b_keys: np.ndarray, bound: int = UNBOUNDED, *,
+                    burst: int = NO_BURST, nested: bool = False,
+                    cpu_mem: float = 0.0, sc_mem: float = 0.0,
+                    flop_pairs: int = 0) -> None:
+        """Record one stream op by reference; analysis happens in bulk.
+
+        The bound truncation is applied *now* (it is cheap and lets the
+        batch analyser treat every operand as effective keys); operand
+        arrays are held by reference until the next compaction, per the
+        stream contract that key arrays are never mutated in place.
+        """
+        self._frozen = None
+        if bound >= 0:
+            a_eff = truncate_bound(a_keys, bound)
+            b_eff = truncate_bound(b_keys, bound)
+        else:
+            a_eff, b_eff = a_keys, b_keys
+        self._append_pending((int(kind), a_eff, b_eff, burst, nested,
+                              cpu_mem, sc_mem, flop_pairs))
+        self._n_ops += 1
+        self._pending_elems += a_eff.size + b_eff.size
+        if self._pending_elems >= self._compact_elems:
+            self._compact()
+
+    def add_scalar(self, n: int) -> None:
+        """Scalar instructions both machines execute (app logic)."""
+        self.shared_scalar_instrs += n
+
+    def add_cpu_scalar(self, n: int) -> None:
+        """Scalar loop instructions only the scalar CPU needs."""
+        self.cpu_only_scalar_instrs += n
+
+    def add_sc_scalar(self, n: int) -> None:
+        """Scalar instructions only SparseCore's host core needs."""
+        self.sc_only_scalar_instrs += n
+
+    # -- batch analysis ----------------------------------------------------
+
+    def _compact(self) -> None:
+        """Analyse every pending op into one columnar segment."""
+        pend = self._pending
+        if not pend:
+            return
+        (kind_l, a_l, b_l, burst_l, nested_l, cpu_l, sc_l,
+         flop_l) = zip(*pend)
+        kind = np.array(kind_l, dtype=np.int8)
+        burst = np.array(burst_l, dtype=np.int64)
+        nested = np.array(nested_l, dtype=bool)
+        cpu_mem = np.array(cpu_l, dtype=np.float64)
+        sc_mem = np.array(sc_l, dtype=np.float64)
+        flop_pairs = np.array(flop_l, dtype=np.int64)
+        eff_a, eff_b, n_union, n_matches, n_runs, su_int, su_sub = \
+            analyze_segments(a_l, b_l, self._width)
+        # Kind dispatch, vectorised (cf. Trace.add_op): INTERSECT/VINTER
+        # emit one match per cycle, SUBTRACT/MERGE/VMERGE at window rate.
+        is_inter = (kind == 0) | (kind == 3)
+        su_cycles = np.where(is_inter, su_int, su_sub)
+        out_len = np.where(is_inter, n_matches,
+                           np.where(kind == 1, eff_a - n_matches, n_union))
+        self._segments.append((
+            kind, su_cycles, n_union, np.maximum(n_runs - 1, 0),
+            eff_a + eff_b, out_len, flop_pairs, burst, nested,
+            cpu_mem, sc_mem,
+        ))
+        self._pending = []
+        self._append_pending = self._pending.append
+        self._pending_elems = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_ops(self) -> int:
+        return self._n_ops
+
+    def freeze(self) -> FrozenTrace:
+        """Snapshot into numpy arrays for the cost models (cached)."""
+        if self._frozen is None:
+            self._compact()
+            segs = self._segments
+            if not segs:
+                cols = [np.empty(0, dtype=dt) for dt in _COL_DTYPES]
+            elif len(segs) == 1:
+                cols = list(segs[0])
+            else:
+                cols = [np.concatenate([seg[i] for seg in segs])
+                        for i in range(len(_COL_DTYPES))]
+            (kind, su_cycles, cpu_steps, dir_changes, eff_elems, out_len,
+             flop_pairs, burst, nested, cpu_mem, sc_mem) = cols
+            self._frozen = FrozenTrace(
+                name=self.name,
+                kind=kind,
+                su_cycles=su_cycles,
+                cpu_steps=cpu_steps,
+                dir_changes=dir_changes,
+                eff_elems=eff_elems,
+                out_len=out_len,
+                flop_pairs=flop_pairs,
+                burst=burst,
+                nested=nested,
+                cpu_mem=cpu_mem,
+                sc_mem=sc_mem,
+                shared_scalar_instrs=self.shared_scalar_instrs,
+                cpu_only_scalar_instrs=self.cpu_only_scalar_instrs,
+                sc_only_scalar_instrs=self.sc_only_scalar_instrs,
+            )
+        return self._frozen
+
+    def stream_lengths(self) -> np.ndarray:
+        """Effective operand element counts per op (Figure 14 data)."""
+        return self.freeze().eff_elems
+
+    def __repr__(self) -> str:
+        return f"ColumnarTrace({self.name!r}, ops={self.num_ops})"
+
+
+__all__ = ["COMPACT_ELEMS", "ColumnarTrace", "analyze_segments"]

@@ -49,13 +49,16 @@ def dataset_params(dspec) -> dict:
     raise TypeError(f"unknown dataset spec type {type(dspec).__name__}")
 
 
-def run_fingerprint(spec: WorkloadSpec, dspec, scale: float = 1.0) -> str:
+def run_fingerprint(spec: WorkloadSpec, dspec, scale: float = 1.0,
+                    backend: str = "rows") -> str:
     """Disk-cache fingerprint of one run, derived from the spec.
 
     The single cache-key construction for every family: workload
     identity (family + app selector), the dataset's generator
-    parameters, and the effective scale.  Versioned by
-    :data:`~repro.perf.cache.CACHE_FORMAT_VERSION` via
+    parameters, the effective scale, and the recording backend (the
+    backends produce byte-identical traces, but keying on the backend
+    guarantees entries can never alias even if one regresses).
+    Versioned by :data:`~repro.perf.cache.CACHE_FORMAT_VERSION` via
     :func:`~repro.perf.cache.fingerprint`.
     """
     from repro.perf.cache import fingerprint
@@ -66,6 +69,7 @@ def run_fingerprint(spec: WorkloadSpec, dspec, scale: float = 1.0) -> str:
         "num_labels": spec.num_labels,
         "dataset": dataset_params(dspec),
         "scale": scale,
+        "backend": backend,
     })
 
 
@@ -85,6 +89,9 @@ class RunResult:
     #: empty on cache hits, which execute nothing
     summary: dict = field(default_factory=dict)
     cached: bool = False
+    #: recording backend the trace was (or originally had been) recorded
+    #: under ("rows" or "columnar"; both freeze to identical traces)
+    backend: str = "rows"
 
 
 def _record_gpm(spec, dspec, scale, machine):
@@ -128,7 +135,7 @@ _RECORDERS = {"gpm": _record_gpm, "spmspm": _record_spmspm,
 
 def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
                  scale: float = 1.0, *, cache=None, probe=None,
-                 price: bool = True) -> RunResult:
+                 price: bool = True, backend: str | None = None) -> RunResult:
     """Run one registered workload through the shared pipeline.
 
     ``cache`` (a :class:`~repro.perf.cache.RunCache`) short-circuits
@@ -137,17 +144,24 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     runs execute nothing, so they contribute no counters.  With
     ``price=False`` the metrics step is skipped (callers that do their
     own pricing, e.g. the profiler, use the trace directly).
+    ``backend`` selects the recording backend (``rows``/``columnar``;
+    ``None`` resolves via ``$REPRO_RECORD_BACKEND``) — it is part of
+    the cache fingerprint, so entries recorded under different backends
+    never alias.
     """
+    from repro.record import normalize_backend
     from repro.resilience.faults import inject
 
     spec = get_workload(workload) if isinstance(workload, str) else workload
     dspec = spec.resolve_dataset(dataset)
+    backend = normalize_backend(backend)
     # Chaos-test hook: an active fault plan may raise a transient
     # (injected) OSError here, exercising the engine's retry path.
     inject("dataset.resolve", f"{spec.name}:{dspec.key}")
     scale = scale if spec.dataset_kind == "graph" else 1.0
 
-    key = run_fingerprint(spec, dspec, scale) if cache is not None else None
+    key = run_fingerprint(spec, dspec, scale, backend) \
+        if cache is not None else None
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:
@@ -157,25 +171,27 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
             return RunResult(spec=spec, dataset=dspec.key, scale=scale,
                              trace=hit.trace, metrics=metrics,
                              meta=dict(hit.meta), lengths=hit.lengths,
-                             cached=True)
+                             cached=True, backend=backend)
 
     from repro.machine.context import Machine
 
     machine = Machine(name=f"{spec.name}:{dspec.key}",
-                      record_lengths=spec.family == "gpm", probe=probe)
+                      record_lengths=spec.family == "gpm", probe=probe,
+                      backend=backend)
     meta, summary = _RECORDERS[spec.family](spec, dspec, scale, machine)
     trace = machine.trace.freeze()
     lengths = np.asarray(machine.length_samples, dtype=np.int64)
     if cache is not None:
         cache.put(key, trace, lengths=lengths, meta={
             "kind": spec.family, "workload": spec.name, "app": spec.app,
-            "dataset": dspec.key, "scale": scale, **meta,
+            "dataset": dspec.key, "scale": scale, "backend": backend,
+            **meta,
         })
     metrics = price_run(spec, dspec.key, trace, lengths=lengths,
                         meta=meta) if price else None
     return RunResult(spec=spec, dataset=dspec.key, scale=scale, trace=trace,
                      metrics=metrics, meta=meta, lengths=lengths,
-                     summary=summary, cached=False)
+                     summary=summary, cached=False, backend=backend)
 
 
 __all__ = ["RunResult", "dataset_params", "run_fingerprint", "run_workload"]

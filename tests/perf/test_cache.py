@@ -109,6 +109,54 @@ class TestRoundTrip:
         assert cache.stats()["entries"] == 0
 
 
+class TestFormatVersionReporting:
+    """``stats``/``fsck`` must break entries down per trace-format
+    version so a key-schema bump (v2 -> v3, the backend joining the
+    fingerprint) is visible instead of silently reading as misses."""
+
+    def _plant(self, cache, version):
+        trace = _record_trace()
+        key = cache.key("gpm", {"v": version if version is not None else -1})
+        cache.put(key, trace, meta={"kind": "gpm"})
+        sidecar = cache.root / f"{key}.json"
+        meta = json.loads(sidecar.read_text())
+        if version is None:
+            meta.pop("format_version", None)
+        else:
+            meta["format_version"] = version
+        sidecar.write_text(json.dumps(meta))
+        return key
+
+    def test_stats_histogram(self, cache):
+        current = self._plant(cache, CACHE_FORMAT_VERSION)
+        self._plant(cache, CACHE_FORMAT_VERSION - 1)
+        self._plant(cache, None)
+        stats = cache.stats()
+        assert stats["format_versions"] == {
+            f"v{CACHE_FORMAT_VERSION}": 1,
+            f"v{CACHE_FORMAT_VERSION - 1}": 1,
+            "unversioned": 1,
+        }
+        assert stats["stale_entries"] == 2
+        assert cache.get(current) is not None
+
+    def test_fsck_reports_and_quarantines_stale(self, cache):
+        current = self._plant(cache, CACHE_FORMAT_VERSION)
+        self._plant(cache, CACHE_FORMAT_VERSION - 1)
+        report = cache.fsck()
+        assert report["format_versions"] == {
+            f"v{CACHE_FORMAT_VERSION}": 1,
+            f"v{CACHE_FORMAT_VERSION - 1}": 1,
+        }
+        assert report["stale"] == 1
+        assert report["quarantined"] == 1
+        assert report["ok"] == 1
+        # The stale entry is gone; a rescan sees only the current one.
+        assert cache.stats()["format_versions"] == {
+            f"v{CACHE_FORMAT_VERSION}": 1}
+        assert cache.get(current) is not None
+
+
 class TestLRU:
     def test_bounded_eviction(self):
         lru = LRUCache(capacity=2)

@@ -1,0 +1,193 @@
+"""Columnar recording backend: batch analyser parity and trace unit
+tests.
+
+The contract under test is exact equivalence with the row backend:
+``analyze_segments`` must reproduce ``analyze_pair`` value-for-value
+over arbitrary op batches (including the degenerate shapes the batch
+offset trick has to survive — empty operands, negative keys, huge key
+ranges), and a ``ColumnarTrace`` fed the same op sequence as a ``Trace``
+must freeze to a byte-identical payload.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.arch.trace import OpKind, Trace
+from repro.record import (DEFAULT_BACKEND, RECORD_BACKENDS, make_trace,
+                          normalize_backend)
+from repro.record.columnar import ColumnarTrace, analyze_segments
+from repro.streams.runstats import (SU_BUFFER_WIDTH, UNBOUNDED,
+                                    analyze_pair, truncate_bound)
+
+
+def _random_ops(rng, n_ops, *, lo=0, hi=4000, max_len=120, p_empty=0.08):
+    """Random sorted-key op triples (a, b, bound), some sides empty."""
+    ops = []
+    for _ in range(n_ops):
+        na = 0 if rng.random() < p_empty else int(rng.integers(1, max_len))
+        nb = 0 if rng.random() < p_empty else int(rng.integers(1, max_len))
+        a = np.unique(rng.integers(lo, hi, na).astype(np.int64))
+        b = np.unique(rng.integers(lo, hi, nb).astype(np.int64))
+        bound = int(rng.integers(max(lo, 0) + 1, hi)) \
+            if rng.random() < 0.25 else UNBOUNDED
+        ops.append((a, b, bound))
+    return ops
+
+
+def _effective(ops):
+    a_eff = [truncate_bound(a, bound) for a, _, bound in ops]
+    b_eff = [truncate_bound(b, bound) for _, b, bound in ops]
+    return a_eff, b_eff
+
+
+def _assert_matches_analyze_pair(ops, width):
+    a_eff, b_eff = _effective(ops)
+    eff_a, eff_b, n_union, n_matches, n_runs, su_int, su_sub = \
+        analyze_segments(a_eff, b_eff, width)
+    for i, (a, b, bound) in enumerate(ops):
+        stats = analyze_pair(a, b, bound, width=width)
+        got = (eff_a[i], eff_b[i], n_union[i], n_matches[i], n_runs[i],
+               su_int[i], su_sub[i])
+        want = (stats.eff_a, stats.eff_b, stats.n_union, stats.n_matches,
+                stats.n_runs, stats.su_cycles_intersect,
+                stats.su_cycles_submerge)
+        assert got == want, f"op {i} diverges: {got} != {want}"
+
+
+class TestAnalyzeSegments:
+    @pytest.mark.parametrize("width", [1, 2, 7, SU_BUFFER_WIDTH])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fuzz_parity(self, seed, width):
+        rng = np.random.default_rng(seed)
+        _assert_matches_analyze_pair(_random_ops(rng, 64), width)
+
+    def test_negative_keys(self):
+        # The shift guard must keep offset keys strictly increasing.
+        rng = np.random.default_rng(7)
+        ops = _random_ops(rng, 32, lo=-500, hi=500)
+        _assert_matches_analyze_pair(ops, SU_BUFFER_WIDTH)
+
+    def test_huge_key_range_recursion(self):
+        # K * n_ops would overflow int64, forcing the recursive split.
+        big = np.array([0, 2 ** 61], dtype=np.int64)
+        ops = [(big, big[:1], UNBOUNDED) for _ in range(8)]
+        _assert_matches_analyze_pair(ops, SU_BUFFER_WIDTH)
+
+    def test_empty_batch(self):
+        cols = analyze_segments([], [])
+        assert all(c.size == 0 for c in cols)
+
+    def test_all_empty_operands(self):
+        empty = np.empty(0, dtype=np.int64)
+        cols = analyze_segments([empty] * 3, [empty] * 3)
+        assert all((c == 0).all() and c.size == 3 for c in cols)
+
+    def test_one_sided_ops(self):
+        empty = np.empty(0, dtype=np.int64)
+        keys = np.arange(10, dtype=np.int64)
+        _assert_matches_analyze_pair(
+            [(keys, empty, UNBOUNDED), (empty, keys, UNBOUNDED),
+             (keys, keys, 5)], SU_BUFFER_WIDTH)
+
+
+def _record_both(ops, **columnar_kwargs):
+    """Feed one op plan to both backends; return frozen (rows, columnar)."""
+    kinds = (OpKind.INTERSECT, OpKind.SUBTRACT, OpKind.MERGE)
+    rows = Trace("t")
+    cols = ColumnarTrace("t", **columnar_kwargs)
+    for i, (a, b, bound) in enumerate(ops):
+        kind = kinds[i % 3]
+        rows.add_op(kind, analyze_pair(a, b, bound), burst=i % 4,
+                    nested=bool(i % 2), cpu_mem=0.5 * i, sc_mem=0.25 * i,
+                    flop_pairs=i)
+        cols.add_op_keys(kind, a, b, bound, burst=i % 4,
+                         nested=bool(i % 2), cpu_mem=0.5 * i,
+                         sc_mem=0.25 * i, flop_pairs=i)
+    return rows, cols
+
+
+def _saved_bytes(trace):
+    buf = io.BytesIO()
+    trace.freeze().save(buf)
+    return buf.getvalue()
+
+
+class TestColumnarTrace:
+    def test_byte_identical_to_rows(self):
+        rng = np.random.default_rng(11)
+        rows, cols = _record_both(_random_ops(rng, 50))
+        rows.add_scalar(17), cols.add_scalar(17)
+        rows.add_cpu_scalar(5), cols.add_cpu_scalar(5)
+        rows.add_sc_scalar(3), cols.add_sc_scalar(3)
+        assert cols.num_ops == rows.num_ops == 50
+        assert _saved_bytes(rows) == _saved_bytes(cols)
+
+    def test_compaction_preserves_bytes(self):
+        # compact_elems=1 forces a compaction after every recorded op;
+        # segment concatenation must not change the frozen payload.
+        rng = np.random.default_rng(13)
+        ops = _random_ops(rng, 40)
+        _, eager = _record_both(ops, compact_elems=1)
+        _, lazy = _record_both(ops)
+        assert len(eager._segments) > 1
+        assert _saved_bytes(eager) == _saved_bytes(lazy)
+
+    def test_empty_trace(self):
+        rows, cols = Trace("t"), ColumnarTrace("t")
+        assert cols.num_ops == 0
+        assert cols.freeze().num_ops == 0
+        assert _saved_bytes(rows) == _saved_bytes(cols)
+
+    def test_single_op(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([2, 3, 4], dtype=np.int64)
+        rows, cols = _record_both([(a, b, UNBOUNDED)])
+        assert _saved_bytes(rows) == _saved_bytes(cols)
+
+    def test_freeze_is_cached_until_next_op(self):
+        cols = ColumnarTrace("t")
+        a = np.array([1, 2], dtype=np.int64)
+        cols.add_op_keys(OpKind.INTERSECT, a, a)
+        first = cols.freeze()
+        assert cols.freeze() is first
+        cols.add_op_keys(OpKind.MERGE, a, a)
+        assert cols.freeze() is not first
+        assert cols.freeze().num_ops == 2
+
+    def test_stream_lengths_match_rows(self):
+        rng = np.random.default_rng(17)
+        rows, cols = _record_both(_random_ops(rng, 20))
+        np.testing.assert_array_equal(rows.stream_lengths(),
+                                      cols.stream_lengths())
+
+    def test_new_burst_allocates(self):
+        cols = ColumnarTrace("t")
+        assert cols.new_burst() == 1
+        assert cols.new_burst() == 2
+
+
+class TestBackendSelection:
+    def test_make_trace_dispatch(self):
+        assert isinstance(make_trace("columnar"), ColumnarTrace)
+        assert isinstance(make_trace("rows"), Trace)
+        assert isinstance(make_trace(None), Trace)  # default env unset
+
+    def test_normalize_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown recording backend"):
+            normalize_backend("parquet")
+        assert normalize_backend(None) == DEFAULT_BACKEND
+        assert all(normalize_backend(b) == b for b in RECORD_BACKENDS)
+
+    def test_env_knob_selects_columnar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECORD_BACKEND", "columnar")
+        assert isinstance(make_trace(None), ColumnarTrace)
+
+    def test_env_knob_nonsense_falls_back(self, monkeypatch):
+        from repro.resilience.knobs import reset_knob_warnings
+
+        reset_knob_warnings()
+        monkeypatch.setenv("REPRO_RECORD_BACKEND", "sideways")
+        with pytest.warns(RuntimeWarning, match="REPRO_RECORD_BACKEND"):
+            assert normalize_backend(None) == DEFAULT_BACKEND

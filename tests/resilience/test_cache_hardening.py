@@ -184,6 +184,48 @@ class TestAnomalyAccounting:
         assert not (cache.root / QUARANTINE_DIR).exists()
 
 
+class TestColumnarQuarantineParity:
+    """Chaos-corrupted cache entries recorded under the columnar
+    backend quarantine exactly like rows-recorded ones: same counters,
+    same quarantine layout, same fault-free recovery on re-run."""
+
+    @pytest.mark.parametrize("backend", ["rows", "columnar"])
+    def test_corrupt_write_quarantines_either_backend(self, cache,
+                                                      backend):
+        from repro.workloads import get_workload, run_workload
+        from repro.workloads.pipeline import run_fingerprint
+
+        spec = get_workload("triangle")
+        key = run_fingerprint(spec, spec.resolve_dataset("citeseer"),
+                              SMALL, backend=backend)
+        install(FaultPlan(points=(
+            FaultPoint("cache.write", "corrupt", times=99),)))
+        try:
+            cold = run_workload(spec, "citeseer", SMALL, cache=cache,
+                                backend=backend)
+        finally:
+            uninstall()
+        assert not cold.cached
+        assert resilience_snapshot()[
+            "resilience.cache.corrupt_writes"] == 1
+
+        # The rotted entry is caught by its checksum, quarantined, and
+        # transparently re-recorded; the re-run's metrics match cold.
+        rerun = run_workload(spec, "citeseer", SMALL, cache=cache,
+                             backend=backend)
+        assert not rerun.cached
+        assert resilience_snapshot()[
+            "resilience.cache.checksum_mismatch"] == 1
+        assert f"{key}.npz" in _quarantined_names(cache)
+        assert json.dumps(rerun.metrics, sort_keys=True, default=str) \
+            == json.dumps(cold.metrics, sort_keys=True, default=str)
+
+        # Now intact: the third run is a warm hit under this backend.
+        warm = run_workload(spec, "citeseer", SMALL, cache=cache,
+                            backend=backend)
+        assert warm.cached
+
+
 class TestInjectedFaults:
     def test_write_oserror_tolerated(self, cache, trace):
         install(FaultPlan(points=(

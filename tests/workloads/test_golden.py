@@ -41,13 +41,19 @@ def _golden(name):
 
 
 class TestRunMetricsGolden:
+    """The same fixtures pin *both* recording backends: a columnar
+    deviation from the golden metrics is a recording bug, not drift."""
+
+    @pytest.mark.parametrize("backend", ["rows", "columnar"])
     @pytest.mark.parametrize("family", ["gpm", "spmspm", "tensor"])
-    def test_metrics_unchanged(self, family):
+    def test_metrics_unchanged(self, family, backend):
         entry = _golden("golden_runs.json")[family]
         spec = get_workload(entry["workload"])
         rec = run_workload(spec, entry["dataset"],
-                           entry.get("scale", 1.0), cache=None)
+                           entry.get("scale", 1.0), cache=None,
+                           backend=backend)
         assert _roundtrip(rec.metrics) == entry["metrics"]
+        assert rec.backend == backend
 
 
 class TestSuiteJobsGolden:
@@ -61,11 +67,27 @@ class TestSuiteJobsGolden:
         keys = sorted(job_key(j) for j in figure_suite_jobs(smoke=True))
         assert keys == sorted(golden["smoke"])
 
+    def test_job_keys_and_metrics_backend_independent(self):
+        """Engine job keys carry no backend; metrics agree bit-exactly."""
+        from repro.perf.engine import RunJob, run_jobs
+
+        jobs = [RunJob("gpm", "T", "citeseer", 0.3),
+                RunJob("spmspm", "gustavson", "laser")]
+        by_backend = {
+            backend: run_jobs(jobs, use_disk_cache=False, backend=backend)
+            for backend in ("rows", "columnar")
+        }
+        assert sorted(by_backend["rows"]) == sorted(by_backend["columnar"])
+        assert _roundtrip(by_backend["rows"]) \
+            == _roundtrip(by_backend["columnar"])
+
 
 class TestProfileGolden:
-    def test_triangle_profile_unchanged(self):
+    @pytest.mark.parametrize("backend", [None, "rows", "columnar"])
+    def test_triangle_profile_unchanged(self, backend):
         golden = _golden("golden_profile_triangle.json")
-        result = profile_workload("triangle", ProfileArgs(scale=0.3))
+        result = profile_workload("triangle",
+                                  ProfileArgs(scale=0.3, backend=backend))
         payload = result.to_json()
         payload.pop("wall_seconds", None)
         golden.pop("wall_seconds", None)
