@@ -13,6 +13,17 @@ backends head-to-head on an identical synthetic op sequence (freezing
 to byte-identical traces), asserting the columnar backend's speedup in
 full mode.
 
+A fifth cold-serial phase runs with the run ledger enabled
+(``$REPRO_LEDGER_DIR``): its metrics must stay bit-identical to the
+un-instrumented phases, and the ledger's attributable overhead — the
+directly measured per-event emission cost times the number of events
+the phase produced — must stay under 2% of the cold-serial wall time.
+(Whole-phase wall deltas are reported but do not gate: back-to-back
+ledger-off phases on a shared machine routinely differ by 20%, so a
+single-sample 2% wall gate would only measure scheduler noise.)  The
+first four phases always run with the ledger disabled, whatever the
+ambient environment.
+
 Modelled *cycles* never change between modes (that is asserted); what
 this benchmark tracks is how fast the pure-Python harness itself
 produces them.
@@ -46,6 +57,12 @@ PARALLEL_MIN_SPEEDUP = 1.5
 #: Columnar-over-rows recording speedup the full benchmark asserts on
 #: the recording-bound microbench (ISSUE 7 acceptance criteria).
 RECORDING_MIN_SPEEDUP = 5.0
+#: Ledger emission cost attributable to a cold serial run (per-event
+#: emit time x events emitted) must stay under this fraction of the
+#: run's wall time (ISSUE 8 acceptance criteria).
+LEDGER_MAX_OVERHEAD = 0.02
+#: Events timed by the emission microbenchmark.
+LEDGER_EMIT_BENCH_N = 2_000
 
 
 def _canon(x):
@@ -143,22 +160,61 @@ def run_phases(*, smoke: bool, workers: int, scale: float,
     phase records under the *other* backend and must produce
     bit-identical metrics (the cross-backend differential check).
     """
+    from repro.obs.ledger import ENV_DIR, read_ledger, reset_default_ledger
     from repro.perf.engine import figure_suite_jobs, job_key
 
     other = "columnar" if backend == "rows" else "rows"
     jobs = figure_suite_jobs(scale, smoke=smoke)
-    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
-        root = pathlib.Path(tmp)
-        cold_serial_s, serial = _timed_run(
-            jobs, workers=1, cache_dir=root / "serial", backend=backend)
-        cold_parallel_s, parallel = _timed_run(
-            jobs, workers=workers, cache_dir=root / "parallel",
-            backend=backend)
-        # Warm: the serial cache dir already holds every trace.
-        warm_serial_s, warm = _timed_run(
-            jobs, workers=1, cache_dir=root / "serial", backend=backend)
-        cold_other_s, other_results = _timed_run(
-            jobs, workers=1, cache_dir=root / "other", backend=other)
+    # The baseline phases must measure the *disabled* ledger whatever
+    # the ambient environment says; the ledger phase then reuses the
+    # ambient directory when one is set (CI reads it right after) or a
+    # throwaway one otherwise.
+    ambient = os.environ.pop(ENV_DIR, None)
+    reset_default_ledger()
+    try:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-cache-") as tmp:
+            root = pathlib.Path(tmp)
+            cold_serial_s, serial = _timed_run(
+                jobs, workers=1, cache_dir=root / "serial", backend=backend)
+            cold_parallel_s, parallel = _timed_run(
+                jobs, workers=workers, cache_dir=root / "parallel",
+                backend=backend)
+            # Warm: the serial cache dir already holds every trace.
+            warm_serial_s, warm = _timed_run(
+                jobs, workers=1, cache_dir=root / "serial", backend=backend)
+            cold_other_s, other_results = _timed_run(
+                jobs, workers=1, cache_dir=root / "other", backend=other)
+
+            ledger_dir = ambient or str(root / "ledger")
+            os.environ[ENV_DIR] = ledger_dir
+            reset_default_ledger()
+            try:
+                cold_ledger_s, ledgered = _timed_run(
+                    jobs, workers=1, cache_dir=root / "ledger-cache",
+                    backend=backend)
+            finally:
+                os.environ.pop(ENV_DIR, None)
+                reset_default_ledger()
+            scan = read_ledger(ledger_dir)
+
+            # Attributable overhead: time raw event emission into a
+            # scratch ledger (kept out of ledger_dir so the obs report
+            # over $REPRO_LEDGER_DIR only sees real run events).
+            from repro.obs.ledger import RunLedger
+
+            bench_ledger = RunLedger(root / "emit-bench")
+            start = time.perf_counter()
+            for i in range(LEDGER_EMIT_BENCH_N):
+                bench_ledger.emit("bench.emit", "span", dur=0.0,
+                                  workload="emit-bench", seq=i)
+            per_event_s = ((time.perf_counter() - start)
+                           / LEDGER_EMIT_BENCH_N)
+            bench_ledger.close()
+    finally:
+        if ambient is not None:
+            os.environ[ENV_DIR] = ambient
+        reset_default_ledger()
 
     if not (_canon(serial) == _canon(parallel) == _canon(warm)):
         raise AssertionError(
@@ -174,7 +230,7 @@ def run_phases(*, smoke: bool, workers: int, scale: float,
     stream_ops = sum(m["num_ops"] for m in serial.values())
     n_runs = len(serial)
     report = {
-        "schema_version": 2,
+        "schema_version": 3,
         "mode": "smoke" if smoke else "full",
         "machine": {
             "cpu_count": os.cpu_count() or 1,
@@ -207,6 +263,23 @@ def run_phases(*, smoke: bool, workers: int, scale: float,
                 round(cold_serial_s / cold_parallel_s, 2),
         },
         "recording": micro,
+        "ledger": {
+            "cold_serial_ledger_s": round(cold_ledger_s, 3),
+            "wall_ratio_vs_cold_serial":
+                round(cold_ledger_s / cold_serial_s, 3)
+                if cold_serial_s else None,
+            "events": len(scan.events),
+            "files": scan.files,
+            "malformed": scan.malformed,
+            "emit_us_per_event": round(per_event_s * 1e6, 2),
+            "attributable_overhead_s":
+                round(per_event_s * len(scan.events), 6),
+            "attributable_overhead_ratio":
+                round(per_event_s * len(scan.events) / cold_serial_s, 6)
+                if cold_serial_s else None,
+            "bit_identical": _canon(serial) == _canon(ledgered),
+            "dir_persisted": ambient is not None,
+        },
         "bit_identical": micro["bit_identical"],
     }
     return report
@@ -244,6 +317,24 @@ def check_ratios(report: dict) -> list[str]:
             f"columnar recording only {micro['columnar_speedup']}x faster "
             f"than row-tuple recording "
             f"(need >= {RECORDING_MIN_SPEEDUP}x)")
+    ledger = report.get("ledger")
+    if ledger:
+        if not ledger["bit_identical"]:
+            failures.append(
+                "metrics differ between ledger-on and ledger-off runs")
+        if ledger["events"] == 0:
+            failures.append("ledger-on run left an empty ledger")
+        if ledger["malformed"]:
+            failures.append(
+                f"{ledger['malformed']} malformed ledger line(s)")
+        ratio = ledger["attributable_overhead_ratio"]
+        if ratio is not None and ratio > LEDGER_MAX_OVERHEAD:
+            failures.append(
+                f"ledger overhead: {ledger['events']} event(s) x "
+                f"{ledger['emit_us_per_event']}us/event = "
+                f"{ledger['attributable_overhead_s']}s attributable, "
+                f"{ratio:.2%} of cold serial "
+                f"(budget {LEDGER_MAX_OVERHEAD:.0%})")
     return failures
 
 
@@ -262,7 +353,8 @@ def main(argv=None) -> int:
                              "(the other backend runs the cross-check)")
     parser.add_argument("--out", default=None,
                         help="write the JSON report here instead of "
-                             "BENCH_wallclock.json (full mode only)")
+                             "BENCH_wallclock.json (smoke mode only "
+                             "writes when --out is given)")
     args = parser.parse_args(argv)
 
     report = run_phases(smoke=args.smoke, workers=args.jobs,
@@ -273,10 +365,12 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"RATIO CHECK FAILED: {failure}", file=sys.stderr)
 
-    if not args.smoke:
-        out = pathlib.Path(args.out) if args.out \
-            else REPO_ROOT / "BENCH_wallclock.json"
+    out = pathlib.Path(args.out) if args.out \
+        else None if args.smoke else REPO_ROOT / "BENCH_wallclock.json"
+    if out is not None:
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if not args.smoke:
         try:
             from conftest import write_result
 
@@ -288,7 +382,6 @@ def main(argv=None) -> int:
                          rows)
         except ImportError:
             pass
-        print(f"wrote {out}")
     return 1 if failures else 0
 
 
@@ -301,6 +394,12 @@ def test_wallclock_smoke(once):
     assert report["timings_s"]["cold_serial_columnar"] > 0
     assert report["recording"]["bit_identical"]
     assert report["recording"]["columnar_speedup"] > 0
+    ledger = report["ledger"]
+    assert ledger["bit_identical"], \
+        "metrics must not change with the run ledger enabled"
+    assert ledger["events"] > 0 and ledger["malformed"] == 0
+    assert ledger["attributable_overhead_ratio"] <= LEDGER_MAX_OVERHEAD, \
+        "ledger overhead budget (2% of cold serial) exceeded"
 
 
 if __name__ == "__main__":

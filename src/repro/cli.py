@@ -44,6 +44,18 @@ Commands:
     List the unified workload registry (name, family, app selector,
     dataset kind, figure membership) that ``run``/``spmspm``/
     ``profile``/``cache prewarm`` all resolve through.
+``obs <report|trace> [--dir D] [--json] [--smoke]``
+    Host-side telemetry from the persistent run ledger
+    (``$REPRO_LEDGER_DIR``): ``report`` aggregates cache hit rate,
+    per-stage p50/p99 wall time, retry/fallback totals, and
+    per-workload tables (``--smoke`` is the CI gate: nonzero exit on an
+    empty or malformed ledger); ``trace OUT.json`` renders the whole
+    ledger as a Perfetto-loadable Chrome trace (one lane per process).
+``bench diff OLD.json NEW.json [--tolerance T]``
+    Schema-aware benchmark comparison over ``BENCH_wallclock.json`` /
+    ``BENCH_profile.json``: flags wall-clock and speedup-ratio
+    regressions beyond the tolerance; exit 1 on regression, 2 on a
+    schema/missing-key problem — the CI regression gate.
 
 Workloads and datasets resolve through :mod:`repro.workloads` on every
 subcommand; unknown names exit with status 2 and a one-line message.
@@ -297,8 +309,14 @@ def _cmd_profile(args) -> int:
 
         jobs = args.jobs if args.jobs is not None else default_workers()
         payloads = profile_many(args.workload, pargs, jobs=jobs)
+        slowest = sorted(
+            ({"key": p["workload"],
+              "wall_seconds": round(p["wall_seconds"], 6)}
+             for p in payloads),
+            key=lambda r: -r["wall_seconds"])
         if args.json:
-            print(json.dumps(payloads, indent=2))
+            print(json.dumps({"profiles": payloads,
+                              "slowest_jobs": slowest}, indent=2))
             return 0
         from repro.eval.reporting import render
 
@@ -310,6 +328,9 @@ def _cmd_profile(args) -> int:
             "wall_s": f"{p['wall_seconds']:.3f}",
         } for p in payloads]
         print(render(rows, f"profiles ({jobs} job(s))"))
+        print(render([{"workload": r["key"],
+                       "wall_s": f"{r['wall_seconds']:.3f}"}
+                      for r in slowest], "slowest profiles"))
         return 0
 
     result = profile_workload(args.workload[0], pargs)
@@ -347,6 +368,14 @@ def _cmd_cache(args) -> int:
 
     if args.action == "stats":
         stats = cache.stats()
+        if args.json:
+            import json
+
+            payload = dict(stats)
+            if args.verbose:
+                payload["entry_list"] = cache.entries()
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
         rows = [{"stat": k, "value": v} for k, v in stats.items()]
         print(render(rows, "run cache"))
         entries = cache.entries()
@@ -363,6 +392,11 @@ def _cmd_cache(args) -> int:
 
     if args.action == "fsck":
         report = cache.fsck()
+        if args.json:
+            import json
+
+            print(json.dumps(report, indent=2, default=str))
+            return 0
         rows = [{"stat": k, "value": v} for k, v in report.items()]
         print(render(rows, "cache fsck"))
         if report["quarantined"]:
@@ -433,6 +467,134 @@ def _cmd_workloads(args) -> int:
     } for spec in REGISTRY.values()]
     print(render(rows, "workload registry"))
     return 0
+
+
+def _render_obs_report(agg: dict) -> str:
+    from repro.eval.reporting import render
+
+    span_s = agg["span"].get("wall_span_s", 0.0) if agg["span"] else 0.0
+    lines = [f"run ledger: {agg['events']} event(s) across "
+             f"{agg['files']} file(s) / {agg['processes']} process(es), "
+             f"{agg['malformed']} malformed line(s), span {span_s:.2f}s"]
+    if agg["stages"]:
+        lines.append(render(
+            [{"stage": name,
+              "count": s["count"],
+              "total_s": f"{s['total_s']:.3f}",
+              "p50_s": f"{s['p50_s']:.4f}",
+              "p99_s": f"{s['p99_s']:.4f}",
+              "max_s": f"{s['max_s']:.4f}"}
+             for name, s in agg["stages"].items()],
+            "pipeline stages"))
+    cache = agg["cache"]
+    lines.append(
+        f"cache: {cache['lookups']} lookup(s), hit rate "
+        + (f"{cache['hit_rate']:.1%}" if cache["hit_rate"] is not None
+           else "n/a")
+        + f" (hits={cache['hits']} misses={cache['misses']} "
+          f"stale={cache['stale']} quarantined={cache['quarantined']} "
+          f"errors={cache['errors']}), {cache['writes']} write(s), "
+          f"{cache['write_failures']} write failure(s)")
+    eng = agg["engine"]
+    lines.append(
+        f"engine: {eng['engine_runs']} run(s), {eng['jobs_done']} job(s) "
+        f"done, submits={eng['submits']} retries={eng['retries']} "
+        f"timeouts={eng['timeouts']} crashes={eng['crashes']} "
+        f"pool_rebuilds={eng['pool_rebuilds']} "
+        f"inline_fallbacks={eng['inline_fallbacks']} "
+        f"failures={eng['failures']}")
+    if agg["slowest_jobs"]:
+        lines.append(render(
+            [{"job": r["key"],
+              "wall_s": f"{r['wall_s']:.3f}",
+              "attempts": r["attempts"],
+              "inline": "yes" if r.get("inline") else "-"}
+             for r in agg["slowest_jobs"]],
+            "slowest jobs"))
+    if agg["workloads"]:
+        lines.append(render(
+            [{"workload": name,
+              "records": w["records"],
+              "record_s": f"{w['record_s']:.3f}",
+              "prices": w["prices"],
+              "price_s": f"{w['price_s']:.3f}"}
+             for name, w in agg["workloads"].items()],
+            "per-workload stage time"))
+    res = agg["resilience"]
+    if res["knob_warnings"]:
+        lines.append(f"knob warnings: {res['knob_warnings']} "
+                     f"({', '.join(sorted(res['knobs']))})")
+    return "\n".join(lines)
+
+
+def _cmd_obs(args) -> int:
+    import json
+    import os
+
+    from repro.obs.ledger import (
+        ENV_DIR,
+        aggregate,
+        ledger_to_chrome,
+        read_ledger,
+    )
+
+    root = args.dir or os.environ.get(ENV_DIR)
+    if not root:
+        print(f"no ledger directory: pass --dir or set ${ENV_DIR}",
+              file=sys.stderr)
+        return 2
+    scan = read_ledger(root)
+
+    if args.action == "trace":
+        from repro.obs.schema import validate_chrome_trace
+
+        trace = ledger_to_chrome(scan)
+        validate_chrome_trace(trace)
+        out = args.out or "ledger_trace.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=2)
+        print(f"chrome trace with {len(trace['traceEvents'])} event(s) "
+              f"written to {out} (open at https://ui.perfetto.dev)")
+        return 0
+
+    agg = aggregate(scan, top=args.top)
+    if args.json:
+        print(json.dumps(agg, indent=2))
+    else:
+        print(_render_obs_report(agg))
+    if args.smoke:
+        # CI gate: the preceding instrumented run must actually have
+        # left a readable trail.
+        problems = []
+        if agg["events"] == 0:
+            problems.append("ledger is empty")
+        if agg["malformed"]:
+            problems.append(f"{agg['malformed']} malformed line(s)")
+        if agg["engine"]["jobs_done"] == 0 and not agg["stages"]:
+            problems.append("no stage spans and no completed jobs")
+        if problems:
+            print("obs report --smoke FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 1
+        print("obs report --smoke ok")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.perf.benchdiff import BenchSchemaError, diff_files
+
+    try:
+        diff = diff_files(args.old, args.new, tolerance=args.tolerance)
+    except BenchSchemaError as exc:
+        print(f"bench diff: schema error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_json(), indent=2))
+    else:
+        print(diff.render())
+    return diff.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -544,6 +706,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prewarm a small representative job set")
     cache.add_argument("--verbose", action="store_true",
                        help="list individual entries under stats")
+    cache.add_argument("--json", action="store_true",
+                       help="emit stats/fsck output as JSON")
     add_backend_flag(cache)
 
     chaos = sub.add_parser(
@@ -569,6 +733,33 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads", help="list the unified workload registry")
     workloads.add_argument("--list", action="store_true",
                            help="print bare workload names only")
+
+    obs = sub.add_parser(
+        "obs", help="aggregate or export the persistent run ledger")
+    obs.add_argument("action", choices=["report", "trace"])
+    obs.add_argument("out", nargs="?", default=None,
+                     help="output file for trace (default "
+                          "ledger_trace.json)")
+    obs.add_argument("--dir", default=None,
+                     help="ledger directory (default: $REPRO_LEDGER_DIR)")
+    obs.add_argument("--json", action="store_true",
+                     help="emit the aggregated report as JSON")
+    obs.add_argument("--smoke", action="store_true",
+                     help="CI gate: exit 1 if the ledger is empty or "
+                          "malformed")
+    obs.add_argument("--top", type=int, default=8,
+                     help="rows in the slowest-jobs table")
+
+    bench = sub.add_parser(
+        "bench", help="compare two benchmark reports for regressions")
+    bench.add_argument("action", choices=["diff"])
+    bench.add_argument("old", help="baseline report JSON")
+    bench.add_argument("new", help="candidate report JSON")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="relative regression tolerance "
+                            "(default 0.25 = 25%%)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the diff as JSON")
     return parser
 
 
@@ -584,6 +775,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "chaos": _cmd_chaos,
     "workloads": _cmd_workloads,
+    "obs": _cmd_obs,
+    "bench": _cmd_bench,
 }
 
 

@@ -14,6 +14,10 @@ The profiling layer threaded through the simulated machine stack:
   re-sum to the cost model's total.
 * :mod:`repro.obs.profile` — the ``python -m repro profile`` workload
   runner (imported lazily; it pulls in the application stacks).
+* :mod:`repro.obs.ledger` / :mod:`repro.obs.spans` — the persistent
+  run ledger (``$REPRO_LEDGER_DIR``): host-side flight recorder of
+  pipeline stages, cache outcomes, and engine job lifecycle, surfaced
+  by ``python -m repro obs report``.
 
 See ``docs/observability.md`` for the counter naming scheme, the trace
 format, and how to open traces in Perfetto.
@@ -26,12 +30,26 @@ from repro.obs.attribution import (
     attribute,
 )
 from repro.obs.counters import NULL_COUNTERS, Counters, NullCounters
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    aggregate,
+    default_ledger,
+    ledger_to_chrome,
+    read_ledger,
+    reset_default_ledger,
+    validate_event,
+)
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.schema import (
     TraceSchemaError,
     to_jsonable,
     validate_chrome_trace,
 )
+from repro.obs.spans import NULL_CLOCK, SpanClock, clock
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
@@ -39,16 +57,30 @@ __all__ = [
     "AttributionError",
     "BUCKETS",
     "Counters",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerSchemaError",
+    "NULL_CLOCK",
     "NULL_COUNTERS",
+    "NULL_LEDGER",
     "NULL_PROBE",
     "NULL_TRACER",
     "NullCounters",
+    "NullLedger",
     "NullTracer",
     "Probe",
+    "RunLedger",
+    "SpanClock",
     "TraceEvent",
     "TraceSchemaError",
     "Tracer",
+    "aggregate",
     "attribute",
+    "clock",
+    "default_ledger",
+    "ledger_to_chrome",
+    "read_ledger",
+    "reset_default_ledger",
     "to_jsonable",
     "validate_chrome_trace",
+    "validate_event",
 ]

@@ -1,0 +1,80 @@
+"""Span timing against the run ledger.
+
+:class:`SpanClock` is the thin instrument the pipeline, engine, cache,
+and resilience layers hold: ``start()`` samples a monotonic clock,
+``span()`` emits a completed stage span (wall seconds) onto the active
+ledger, ``instant()`` emits a point event.  Against the default
+:class:`~repro.obs.ledger.NullLedger` every method is a cheap no-op —
+``start()`` does not even read the clock — so uninstrumented runs pay
+nothing, matching the ``NullCounters``/``NullTracer`` contract.
+
+Durations come from ``time.perf_counter`` (monotonic, immune to wall
+clock steps); event timestamps come from the ledger (epoch seconds,
+comparable across pool workers).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.ledger import NULL_LEDGER, default_ledger
+
+
+class SpanClock:
+    """Monotonic span timer bound to one ledger sink."""
+
+    __slots__ = ("ledger",)
+
+    def __init__(self, ledger=None):
+        self.ledger = default_ledger() if ledger is None else ledger
+
+    @property
+    def enabled(self) -> bool:
+        return self.ledger.enabled
+
+    def start(self) -> float:
+        """A span origin (0.0 — no clock read — when disabled)."""
+        return time.perf_counter() if self.ledger.enabled else 0.0
+
+    def span(self, ev: str, start: float, **attrs) -> None:
+        """Emit ``ev`` as a span closing now, opened at ``start``."""
+        if self.ledger.enabled:
+            self.ledger.emit(ev, "span",
+                             dur=max(0.0, time.perf_counter() - start),
+                             **attrs)
+
+    def span_of(self, ev: str, dur: float, **attrs) -> None:
+        """Emit ``ev`` as a span with an externally measured duration."""
+        if self.ledger.enabled:
+            self.ledger.emit(ev, "span", dur=max(0.0, float(dur)), **attrs)
+
+    def instant(self, ev: str, **attrs) -> None:
+        """Emit ``ev`` as a point event."""
+        if self.ledger.enabled:
+            self.ledger.emit(ev, "instant", **attrs)
+
+    @contextmanager
+    def measure(self, ev: str, **attrs):
+        """Context manager form of :meth:`span` (emitted even on error)."""
+        t0 = self.start()
+        try:
+            yield
+        finally:
+            self.span(ev, t0, **attrs)
+
+    def __repr__(self) -> str:
+        return f"SpanClock({self.ledger!r})"
+
+
+#: The clock over the null sink (shared, allocation-free).
+NULL_CLOCK = SpanClock(NULL_LEDGER)
+
+
+def clock() -> SpanClock:
+    """A clock over the process default ledger (null when disabled)."""
+    ledger = default_ledger()
+    return NULL_CLOCK if ledger is NULL_LEDGER else SpanClock(ledger)
+
+
+__all__ = ["NULL_CLOCK", "SpanClock", "clock"]

@@ -248,35 +248,56 @@ class RunCache:
 
     # -- read --------------------------------------------------------------
 
-    def get(self, key: str) -> CachedRun | None:
-        """Load one entry; corrupt entries quarantine and read as misses."""
+    def get(self, key: str, *,
+            ledger_attrs: dict | None = None) -> CachedRun | None:
+        """Load one entry; corrupt entries quarantine and read as misses.
+
+        With the run ledger enabled every lookup emits one
+        ``cache.read`` span carrying the fingerprint, the wall time,
+        and the outcome (``hit``/``miss``/``stale``/``quarantined``/
+        ``error``); ``ledger_attrs`` adds caller context (workload,
+        dataset).  The outcome never changes what is returned.
+        """
+        from repro.obs.spans import clock
+
+        led = clock()
+        if not led.enabled:
+            return self._get(key)[0]
+        t0 = led.start()
+        run, outcome = self._get(key)
+        led.span("cache.read", t0, fp=key, outcome=outcome,
+                 **(ledger_attrs or {}))
+        return run
+
+    def _get(self, key: str) -> tuple[CachedRun | None, str]:
+        """The lookup itself; returns ``(entry or None, outcome)``."""
         npz_path, json_path = self._paths(key)
         counters = self.counters
         try:
             point = inject("cache.read", key)
         except InjectedOSError:
             counters.inc("resilience.cache.read_errors")
-            return None
+            return None, "error"
         try:
             raw_meta = json_path.read_text()
         except FileNotFoundError:
-            return None
+            return None, "miss"
         except OSError:
             counters.inc("resilience.cache.read_errors")
-            return None
+            return None, "error"
         try:
             meta = json.loads(raw_meta)
         except json.JSONDecodeError:
             self._quarantine(key, "sidecar is not valid JSON")
-            return None
+            return None, "quarantined"
         try:
             payload = npz_path.read_bytes()
         except FileNotFoundError:
             self._quarantine(key, "payload .npz missing (orphan sidecar)")
-            return None
+            return None, "quarantined"
         except OSError:
             counters.inc("resilience.cache.read_errors")
-            return None
+            return None, "error"
         if point is not None and point.kind == "corrupt":
             payload = corrupt_bytes(payload)  # simulated bit rot on read
         want = meta.get("payload_sha256")
@@ -284,7 +305,7 @@ class RunCache:
                 and hashlib.sha256(payload).hexdigest() != want:
             counters.inc("resilience.cache.checksum_mismatch")
             self._quarantine(key, "payload checksum mismatch")
-            return None
+            return None, "quarantined"
         try:
             with np.load(io.BytesIO(payload)) as data:
                 scalars = data["scalars"]
@@ -300,10 +321,11 @@ class RunCache:
         except _DECODE_ERRORS:
             self._quarantine(key, "payload is not a decodable trace "
                                   "archive")
-            return None
+            return None, "quarantined"
         if meta.get("format_version") != CACHE_FORMAT_VERSION:
-            return None  # stale but intact: miss (fsck quarantines these)
-        return CachedRun(trace=trace, meta=meta, lengths=lengths)
+            # stale but intact: miss (fsck quarantines these)
+            return None, "stale"
+        return CachedRun(trace=trace, meta=meta, lengths=lengths), "hit"
 
     def __contains__(self, key: str) -> bool:
         npz_path, json_path = self._paths(key)
@@ -317,7 +339,24 @@ class RunCache:
 
         A cache write failure is never fatal — the caller already holds
         the freshly recorded trace, so the run degrades to uncached.
+        With the ledger enabled each store emits one ``cache.write``
+        span (fingerprint, wall time, ``ok``/``error`` outcome).
         """
+        from repro.obs.spans import clock
+
+        led = clock()
+        if not led.enabled:
+            return self._put(key, trace, meta, lengths)
+        t0 = led.start()
+        ok = self._put(key, trace, meta, lengths)
+        led.span("cache.write", t0, fp=key,
+                 outcome="ok" if ok else "error",
+                 workload=meta.get("workload"),
+                 dataset=meta.get("dataset"))
+        return ok
+
+    def _put(self, key: str, trace: FrozenTrace, meta: dict,
+             lengths: np.ndarray | None = None) -> bool:
         counters = self.counters
         try:
             point = inject("cache.write", key)

@@ -152,6 +152,9 @@ class JobResult:
     attempts: int = 1
     inline: bool = False  # finished via the inline serial fallback
     failure: JobFailure | None = None
+    #: harness wall-clock of the *successful* attempt (seconds, measured
+    #: worker-side around the pipeline run; 0.0 for failed jobs)
+    wall_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -175,15 +178,24 @@ class EngineReport:
     def ok(self) -> bool:
         return not self.failures
 
+    def slowest_jobs(self, n: int = 8) -> list[dict]:
+        """The ``n`` slowest successful jobs, slowest first."""
+        done = sorted((j for j in self.jobs.values() if j.ok),
+                      key=lambda j: -j.wall_seconds)
+        return [{"key": j.key, "wall_seconds": round(j.wall_seconds, 6),
+                 "attempts": j.attempts, "inline": j.inline}
+                for j in done[:max(0, n)]]
 
-def _execute_job(payload) -> tuple[str, dict, dict | None, dict]:
+
+def _execute_job(payload) -> tuple[str, dict, dict | None, dict, float]:
     """Top-level (picklable) worker: run one job, return its metrics.
 
     ``payload`` is ``(job, cache_root, use_disk_cache, collect_counters,
     attempt, backend)`` — primitives only, so the same function serves
     the inline serial path and pool workers.  Returns the job key, its
-    metrics, the optional workload-counter snapshot, and the delta of
-    resilience counters this job produced (merged parent-side).
+    metrics, the optional workload-counter snapshot, the delta of
+    resilience counters this job produced (merged parent-side), and the
+    attempt's wall-clock seconds.
     """
     job, cache_root, use_disk_cache, collect_counters, attempt, backend = \
         payload
@@ -194,6 +206,7 @@ def _execute_job(payload) -> tuple[str, dict, dict | None, dict]:
     key = job_key(job)
     res_before = RES_COUNTERS.flat()
     faults.set_attempt(attempt)
+    start = time.perf_counter()
     try:
         faults.inject("worker.exec", key)
 
@@ -211,12 +224,13 @@ def _execute_job(payload) -> tuple[str, dict, dict | None, dict]:
                                backend=backend).metrics
     finally:
         faults.set_attempt(0)
+    wall = time.perf_counter() - start
     counters = probe.counters.flat() if collect_counters else None
     res_after = RES_COUNTERS.flat()
     res_delta = {name: value - res_before.get(name, 0)
                  for name, value in res_after.items()
                  if value != res_before.get(name, 0)}
-    return key, metrics, counters, res_delta
+    return key, metrics, counters, res_delta, wall
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -263,8 +277,12 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
     if n == 0:
         return report
 
+    from repro.obs.spans import clock
     from repro.record import normalize_backend
 
+    led = clock()
+    engine_t0 = led.start()
+    res_before = RES_COUNTERS.flat() if led.enabled else {}
     cache_root = os.fspath(cache_dir) if cache_dir is not None else None
     collect = counters is not None
     retries = default_retries() if retries is None else max(0, int(retries))
@@ -299,6 +317,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
         note_injected(exc)
         report.retries += 1
         count("retries")
+        led.instant("job.retry", key=job_key(ordered[i]),
+                    attempt=attempts[i], error=type(exc).__name__)
 
     def fail(i: int, exc: BaseException) -> None:
         failure = JobFailure(key=job_key(ordered[i]),
@@ -308,6 +328,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
         failures[i] = failure
         report.failures.append(failure)
         count("failures")
+        led.instant("job.failed", key=failure.key, error=failure.error,
+                    attempts=failure.attempts)
 
     def run_inline(i: int) -> None:
         """One in-parent attempt (crash/hang faults are inert here)."""
@@ -321,6 +343,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
         inline[i] = True
         report.inline_fallbacks += 1
         count("inline_fallbacks")
+        led.instant("job.inline_fallback", key=job_key(ordered[i]),
+                    attempt=attempts[i])
         run_inline(i)
 
     def sleep_backoff(i: int) -> None:
@@ -330,6 +354,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
     if workers <= 1 or n == 1:
         # Serial path: same retry budget, everything inline.
         for i in range(n):
+            led.instant("job.submit", key=job_key(ordered[i]),
+                        attempt=attempts[i], lane="serial")
             while True:
                 sleep_backoff(i)
                 try:
@@ -364,6 +390,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                         pending.appendleft(i)
                         broken = True
                         break
+                    led.instant("job.submit", key=job_key(ordered[i]),
+                                attempt=attempts[i], lane="pool")
                     deadline = (time.monotonic() + timeout
                                 if timeout else None)
                     inflight[fut] = (i, deadline)
@@ -379,6 +407,9 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                             broken = True
                             report.crashes += 1
                             count("crashes")
+                            led.instant("job.crash",
+                                        key=job_key(ordered[i]),
+                                        attempt=attempts[i] + 1)
                             charge_retry(i, JobCrashError(
                                 f"pool worker died while running "
                                 f"{job_key(ordered[i])} "
@@ -396,6 +427,10 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                             broken = True
                             report.timeouts += 1
                             count("timeouts")
+                            led.instant("job.timeout",
+                                        key=job_key(ordered[i]),
+                                        attempt=attempts[i] + 1,
+                                        timeout_s=timeout)
                             charge_retry(i, JobTimeoutError(
                                 f"{job_key(ordered[i])} exceeded "
                                 f"{timeout:.3g}s "
@@ -415,6 +450,8 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                         break
                     report.pool_rebuilds += 1
                     count("pool_rebuilds")
+                    led.instant("engine.pool_rebuild",
+                                rebuilds_left=rebuilds_left)
                     pool = ProcessPoolExecutor(
                         max_workers=workers,
                         initializer=faults.mark_pool_worker)
@@ -430,11 +467,13 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
                                          inline=inline[i],
                                          failure=failures[i])
             continue
-        _key, metrics, flat, res_delta = outcomes[i]
+        _key, metrics, flat, res_delta, wall = outcomes[i]
         report.results[key] = metrics
         report.jobs[key] = JobResult(key=key, metrics=metrics,
                                      attempts=attempts[i] + 1,
-                                     inline=inline[i])
+                                     inline=inline[i], wall_seconds=wall)
+        led.span_of("job.done", wall, key=key, attempts=attempts[i] + 1,
+                    inline=inline[i])
         if res_delta:
             merge_resilience(res_delta)
         if collect and flat:
@@ -442,6 +481,17 @@ def run_jobs_report(jobs, *, workers: int = 1, cache_dir=None,
             for name, value in flat.items():
                 snap.add(name, value)
             counters.merge(snap)
+    if led.enabled:
+        res_after = RES_COUNTERS.flat()
+        res_delta = {name: value - res_before.get(name, 0)
+                     for name, value in res_after.items()
+                     if value != res_before.get(name, 0)}
+        led.span("engine.run", engine_t0, jobs=n, workers=workers,
+                 backend=backend, retries=report.retries,
+                 timeouts=report.timeouts, crashes=report.crashes,
+                 pool_rebuilds=report.pool_rebuilds,
+                 inline_fallbacks=report.inline_fallbacks,
+                 failures=len(report.failures), res=res_delta)
     return report
 
 

@@ -83,6 +83,8 @@ class ChaosReport:
     baseline_wall: float = 0.0
     faulted_wall: float = 0.0
     plan_json: str = ""
+    #: slowest jobs of the faulted run (per-job wall + attempt counts)
+    slowest_jobs: list = field(default_factory=list)
 
     @property
     def injected_total(self) -> float:
@@ -106,6 +108,7 @@ class ChaosReport:
             "quarantined": self.quarantined,
             "baseline_wall_seconds": round(self.baseline_wall, 3),
             "faulted_wall_seconds": round(self.faulted_wall, 3),
+            "slowest_jobs": self.slowest_jobs,
             "plan": json.loads(self.plan_json) if self.plan_json else None,
         }
 
@@ -131,6 +134,11 @@ class ChaosReport:
             f"inline_fallbacks={eng.get('inline_fallbacks', 0)}")
         lines.append(f"  cache entries quarantined by fsck: "
                      f"{self.quarantined}")
+        for row in self.slowest_jobs[:3]:
+            lines.append(f"  slowest: {row['key']} "
+                         f"{row['wall_seconds']:.3f}s "
+                         f"({row['attempts']} attempt(s)"
+                         + (", inline)" if row.get("inline") else ")"))
         lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
 
@@ -194,6 +202,7 @@ def run_chaos(*, smoke: bool = True, scale: float = 1.0, seed: int = 0,
             baseline_wall=baseline_wall,
             faulted_wall=faulted_wall,
             plan_json=plan.to_json(),
+            slowest_jobs=faulted.slowest_jobs(5),
         )
         return report
     finally:

@@ -42,6 +42,15 @@ def _warn_once(name: str, message: str) -> None:
         return
     _warned.add(name)
     warnings.warn(message, RuntimeWarning, stacklevel=4)
+    # One-shot RuntimeWarnings are invisible in non-interactive runs
+    # (CI logs swallow them); leave a durable trail too: a resilience
+    # counter and, when the run ledger is on, a ledger event.
+    # Imported lazily so the knob layer stays import-cycle-free.
+    from repro.obs.spans import clock
+    from repro.resilience.metrics import RES_COUNTERS
+
+    RES_COUNTERS.inc("resilience.knob_warnings")
+    clock().instant("resilience.knob_warning", knob=name, message=message)
 
 
 def _env_number(name: str, default, cast, describe: str, *,

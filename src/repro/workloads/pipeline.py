@@ -149,9 +149,12 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     the cache fingerprint, so entries recorded under different backends
     never alias.
     """
+    from repro.obs.spans import clock
     from repro.record import normalize_backend
     from repro.resilience.faults import inject
 
+    led = clock()
+    t0 = led.start()
     spec = get_workload(workload) if isinstance(workload, str) else workload
     dspec = spec.resolve_dataset(dataset)
     backend = normalize_backend(backend)
@@ -159,15 +162,20 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     # (injected) OSError here, exercising the engine's retry path.
     inject("dataset.resolve", f"{spec.name}:{dspec.key}")
     scale = scale if spec.dataset_kind == "graph" else 1.0
+    led.span("dataset.resolve", t0, workload=spec.name, dataset=dspec.key)
 
     key = run_fingerprint(spec, dspec, scale, backend) \
         if cache is not None else None
     if cache is not None:
-        hit = cache.get(key)
+        hit = cache.get(key, ledger_attrs={"workload": spec.name,
+                                           "dataset": dspec.key})
         if hit is not None:
+            t0 = led.start()
             metrics = price_run(spec, dspec.key, hit.trace,
                                 lengths=hit.lengths,
                                 meta=hit.meta) if price else None
+            led.span("price", t0, workload=spec.name, dataset=dspec.key,
+                     backend=backend, fp=key, cached=True)
             return RunResult(spec=spec, dataset=dspec.key, scale=scale,
                              trace=hit.trace, metrics=metrics,
                              meta=dict(hit.meta), lengths=hit.lengths,
@@ -178,8 +186,14 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     machine = Machine(name=f"{spec.name}:{dspec.key}",
                       record_lengths=spec.family == "gpm", probe=probe,
                       backend=backend)
+    t0 = led.start()
     meta, summary = _RECORDERS[spec.family](spec, dspec, scale, machine)
+    led.span("record", t0, workload=spec.name, dataset=dspec.key,
+             backend=backend, fp=key)
+    t0 = led.start()
     trace = machine.trace.freeze()
+    led.span("freeze", t0, workload=spec.name, dataset=dspec.key,
+             backend=backend, num_ops=trace.num_ops)
     lengths = np.asarray(machine.length_samples, dtype=np.int64)
     if cache is not None:
         cache.put(key, trace, lengths=lengths, meta={
@@ -187,8 +201,11 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
             "dataset": dspec.key, "scale": scale, "backend": backend,
             **meta,
         })
+    t0 = led.start()
     metrics = price_run(spec, dspec.key, trace, lengths=lengths,
                         meta=meta) if price else None
+    led.span("price", t0, workload=spec.name, dataset=dspec.key,
+             backend=backend, fp=key, cached=False)
     return RunResult(spec=spec, dataset=dspec.key, scale=scale, trace=trace,
                      metrics=metrics, meta=meta, lengths=lengths,
                      summary=summary, cached=False, backend=backend)

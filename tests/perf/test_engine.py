@@ -100,6 +100,37 @@ class TestCounterMerge:
         assert not second.flat()  # warm hit skips the recording machine
 
 
+class TestJobWallTime:
+    def test_wall_seconds_and_slowest_jobs(self, tmp_path):
+        from repro.perf.engine import run_jobs_report
+
+        jobs = [RunJob("gpm", "T", "C", SMALL),
+                RunJob("spmspm", "gustavson", "CA")]
+        report = run_jobs_report(jobs, workers=1,
+                                 cache_dir=tmp_path / "c")
+        ok = [j for j in report.jobs.values() if j.ok]
+        assert len(ok) == 2
+        assert all(j.wall_seconds > 0 for j in ok)
+        assert all(j.attempts == 1 for j in ok)
+        slowest = report.slowest_jobs(5)
+        assert len(slowest) == 2
+        assert slowest[0]["wall_seconds"] >= slowest[1]["wall_seconds"]
+        assert {"key", "wall_seconds", "attempts", "inline"} \
+            <= set(slowest[0])
+
+    def test_chaos_json_carries_slowest_jobs(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(["chaos", "--smoke", "--max-jobs", "3",
+                     "--timeout", "15", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0 and payload["ok"]
+        assert payload["slowest_jobs"]
+        assert payload["slowest_jobs"][0]["wall_seconds"] > 0
+
+
 class TestCacheCli:
     def test_stats_prewarm_clear(self, tmp_path, capsys):
         from repro.cli import main
@@ -114,6 +145,26 @@ class TestCacheCli:
         assert "cleared" in capsys.readouterr().out
         assert RunCache(root).stats()["entries"] == 0
 
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        root = str(tmp_path / "cli-cache")
+        assert main(["cache", "prewarm", "--smoke", "--dir", root]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", root, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert "bytes" in stats and "entry_list" not in stats
+        assert main(["cache", "stats", "--dir", root, "--json",
+                     "--verbose"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert len(stats["entry_list"]) == stats["entries"]
+        assert main(["cache", "fsck", "--dir", root, "--json"]) == 0
+        fsck = json.loads(capsys.readouterr().out)
+        assert fsck["quarantined"] == 0
+
     def test_profile_jobs_flag(self, capsys):
         from repro.cli import main
 
@@ -122,3 +173,18 @@ class TestCacheCli:
         out = capsys.readouterr().out
         assert "triangle" in out and "three-chain" in out
         assert "wall_s" in out
+        assert "slowest profiles" in out
+
+    def test_profile_multi_json_slowest(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["profile", "triangle", "three-chain",
+                     "--scale", "0.2", "--jobs", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {p["workload"] for p in payload["profiles"]} == \
+            {"triangle", "three-chain"}
+        slowest = payload["slowest_jobs"]
+        assert len(slowest) == 2
+        assert slowest[0]["wall_seconds"] >= slowest[1]["wall_seconds"]
