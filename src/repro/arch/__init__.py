@@ -20,7 +20,19 @@ This package models the architecture of Section 4 of the paper:
   executor for stream-ISA programs.
 """
 
-from repro.arch.config import CacheConfig, CpuConfig, SparseCoreConfig
+from repro.arch.config import (
+    CacheConfig,
+    CpuConfig,
+    MachineConfigs,
+    SparseCoreConfig,
+    config_fingerprint,
+    config_variant,
+    default_configs,
+    get_preset,
+    preset_names,
+    register_preset,
+    sweepable_fields,
+)
 from repro.arch.simmem import SimMemory
 from repro.arch.trace import OpKind, Trace
 from repro.arch.cpu import CpuModel
@@ -30,7 +42,15 @@ from repro.arch.executor import StreamExecutor
 __all__ = [
     "CacheConfig",
     "CpuConfig",
+    "MachineConfigs",
     "SparseCoreConfig",
+    "config_fingerprint",
+    "config_variant",
+    "default_configs",
+    "get_preset",
+    "preset_names",
+    "register_preset",
+    "sweepable_fields",
     "SimMemory",
     "OpKind",
     "Trace",

@@ -62,6 +62,53 @@ class AreaComparison:
         ]
 
 
+# -- modelled area for swept configurations ---------------------------------
+#
+# The design-space explorer (:mod:`repro.explore`) needs an area for
+# configurations the paper never synthesized.  We decompose the
+# published 0.73 mm^2 into component shares (a modelling assumption,
+# stated here once) and scale each share by its knob relative to the
+# Table 2 default, so the default configuration reproduces
+# :data:`SPARSECORE_TOTAL_MM2` exactly and every knob moves area
+# monotonically in the direction real silicon would.
+
+#: Fraction of the extension's area in the SU array (width-16 compare
+#: lanes dominate; scales with SU count and walk width).
+SU_AREA_SHARE = 0.55
+#: S-Cache share (SRAM macro + read ports; scales with the aggregate
+#: bandwidth it must sustain and the slot size).
+SCACHE_AREA_SHARE = 0.25
+#: Scratchpad SRAM share (scales with capacity).
+SCRATCHPAD_AREA_SHARE = 0.12
+#: SMT + stream registers + control (registers scale, control doesn't).
+FIXED_AREA_SHARE = 0.08
+
+
+def sparsecore_area_mm2(config=None) -> float:
+    """Modelled silicon of the stream extension for one configuration.
+
+    First-order scaling of each component share around the synthesized
+    Table 2 point; by construction
+    ``sparsecore_area_mm2(SparseCoreConfig()) == SPARSECORE_TOTAL_MM2``.
+    This is the cost axis of the explorer's Pareto fronts (cycles vs.
+    area).
+    """
+    from repro.arch.config import SparseCoreConfig
+
+    cfg = config if config is not None else SparseCoreConfig()
+    default = SparseCoreConfig()
+    su = SU_AREA_SHARE * (cfg.num_sus / default.num_sus) \
+        * (cfg.su_buffer_width / default.su_buffer_width)
+    scache = SCACHE_AREA_SHARE * (
+        0.5 * cfg.scache_bandwidth / default.scache_bandwidth
+        + 0.5 * cfg.scache_slot_bytes / default.scache_slot_bytes)
+    scratchpad = SCRATCHPAD_AREA_SHARE \
+        * (cfg.scratchpad_bytes / default.scratchpad_bytes)
+    fixed = FIXED_AREA_SHARE * (
+        0.5 + 0.5 * cfg.num_stream_regs / default.num_stream_regs)
+    return SPARSECORE_TOTAL_MM2 * (su + scache + scratchpad + fixed)
+
+
 def area_normalized_speedup(speedup: float, own_area: float,
                             other_area: float) -> float:
     """Speedup per unit silicon relative to the other design."""

@@ -51,6 +51,15 @@ Commands:
     per-workload tables (``--smoke`` is the CI gate: nonzero exit on an
     empty or malformed ledger); ``trace OUT.json`` renders the whole
     ledger as a Perfetto-loadable Chrome trace (one lane per process).
+``explore <workload...> --axis FIELD=VALUES [--preset P] [--json]``
+    Design-space sweep: expand one or more ``--axis`` specs
+    (``num_sus=1,2,4,8,16``, ``scache_bandwidth=2..64``) into a grid of
+    machine configurations around a named preset, record each workload
+    once through the trace cache, price every (workload, point) pair
+    through the parallel engine, and print cycles, modelled area, the
+    area/cycles Pareto front, and per-axis sensitivity.  ``--smoke`` is
+    the CI gate: a 2-point sweep whose base point must price
+    bit-identically to the non-explore pipeline.
 ``bench diff OLD.json NEW.json [--tolerance T]``
     Schema-aware benchmark comparison over ``BENCH_wallclock.json`` /
     ``BENCH_profile.json``: flags wall-clock and speedup-ratio
@@ -520,6 +529,17 @@ def _render_obs_report(agg: dict) -> str:
               "price_s": f"{w['price_s']:.3f}"}
              for name, w in agg["workloads"].items()],
             "per-workload stage time"))
+    explore = agg.get("explore") or {}
+    if explore.get("sweeps"):
+        lines.append(
+            f"explore: {explore['sweeps']} sweep(s), "
+            f"{explore['points_priced']} point(s) priced across "
+            f"{explore['workloads_swept']} workload(s), sweep cache "
+            f"hit rate "
+            + (f"{explore['hit_rate']:.1%}"
+               if explore["hit_rate"] is not None else "n/a")
+            + f" ({explore['hits']}/{explore['lookups']}), "
+              f"{explore['sweep_s']:.2f}s in sweeps")
     res = agg["resilience"]
     if res["knob_warnings"]:
         lines.append(f"knob warnings: {res['knob_warnings']} "
@@ -578,6 +598,82 @@ def _cmd_obs(args) -> int:
             return 1
         print("obs report --smoke ok")
     return 0
+
+
+def _cmd_explore(args) -> int:
+    import json
+
+    from repro.explore import run_sweep
+    from repro.workloads import get_workload, workload_names
+
+    if args.smoke:
+        # CI gate: a tiny two-point sweep whose base point must price
+        # bit-identically to the non-explore pipeline.
+        workloads = ["triangle"]
+        axes = ["num_sus=1,4"]
+        scale = 0.3
+    else:
+        workloads = args.workload
+        axes = list(args.axis)
+        scale = args.scale
+        if not workloads:
+            print("choose at least one workload:", file=sys.stderr)
+            for name in workload_names():
+                print(f"  {name}", file=sys.stderr)
+            return 2
+        if not axes:
+            print("pass at least one --axis FIELD=VALUES "
+                  "(e.g. --axis num_sus=1,2,4,8,16)", file=sys.stderr)
+            return 2
+
+    datasets = {}
+    for name in workloads:
+        spec = get_workload(name)
+        dataset = _dataset_for_args(spec, args)
+        if dataset is not None:
+            datasets[spec.name] = dataset
+
+    from repro.perf.engine import default_workers
+
+    report = run_sweep(workloads, axes, preset=args.preset,
+                       datasets=datasets or None, scale=scale,
+                       workers=args.jobs or default_workers(),
+                       backend=args.backend)
+
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+
+    if args.smoke:
+        from repro.workloads import run_workload
+
+        problems = []
+        if not report.ok:
+            problems.append(f"{len(report.failures)} job failure(s)")
+        base = run_workload(get_workload("triangle"), None, scale).metrics
+        sweep = report.workloads[0]
+        row = next((r for r in sweep.rows
+                    if dict(r["values"])["num_sus"] == 4), None)
+        if row is None:
+            problems.append("base point (num_sus=4) missing from sweep")
+        else:
+            for metric in ("sc_cycles", "cpu_cycles", "speedup_vs_cpu"):
+                if row[metric] != base[metric]:
+                    problems.append(
+                        f"{metric} diverged from the non-explore "
+                        f"pipeline: {row[metric]!r} != {base[metric]!r}")
+        if report.cache["misses"] > len(workloads):
+            problems.append(
+                f"{report.cache['misses']} recording(s) for "
+                f"{len(workloads)} workload(s) — sweep re-recorded")
+        if problems:
+            print("explore --smoke FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 1
+        print("explore --smoke ok: base point bit-identical, "
+              f"cache hit rate {report.cache['hit_rate']:.1%}")
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args) -> int:
@@ -750,6 +846,39 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--top", type=int, default=8,
                      help="rows in the slowest-jobs table")
 
+    explore = sub.add_parser(
+        "explore", help="design-space sweep over machine configurations")
+    explore.add_argument("workload", nargs="*", default=[],
+                         help="workloads to sweep (run without arguments "
+                              "for the list)")
+    explore.add_argument("--axis", action="append", default=[],
+                         metavar="FIELD=VALUES",
+                         help="one swept config field: num_sus=1,2,4,8,16 "
+                              "| scache_bandwidth=2..64 (doubling) | "
+                              "num_sus=2..8:2 (arithmetic); repeat for a "
+                              "grid")
+    explore.add_argument("--preset", default="paper",
+                         help="base machine preset (default: paper = "
+                              "Table 2)")
+    explore.add_argument("--scale", type=float, default=1.0,
+                         help="graph scale factor")
+    explore.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: $REPRO_WORKERS "
+                              "or 1)")
+    explore.add_argument("--graph", default=None,
+                         help="graph dataset for GPM workloads")
+    explore.add_argument("--matrix", default=None,
+                         help="matrix dataset for spmspm workloads")
+    explore.add_argument("--tensor", default=None,
+                         help="tensor dataset for ttv/ttm workloads")
+    explore.add_argument("--json", action="store_true",
+                         help="emit the sweep report as JSON")
+    explore.add_argument("--smoke", action="store_true",
+                         help="CI gate: 2-point sweep; the base point "
+                              "must match the non-explore pipeline "
+                              "bit-for-bit")
+    add_backend_flag(explore)
+
     bench = sub.add_parser(
         "bench", help="compare two benchmark reports for regressions")
     bench.add_argument("action", choices=["diff"])
@@ -776,17 +905,18 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "workloads": _cmd_workloads,
     "obs": _cmd_obs,
+    "explore": _cmd_explore,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from repro.errors import DatasetError
+    from repro.errors import ConfigError, DatasetError
 
     try:
         return _COMMANDS[args.command](args)
-    except DatasetError as exc:
+    except (ConfigError, DatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

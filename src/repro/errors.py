@@ -73,6 +73,16 @@ class DatasetError(ReproError):
     """An unknown dataset name was requested from a registry."""
 
 
+class ConfigError(ReproError):
+    """A machine configuration is invalid or could not be resolved.
+
+    Raised on construction (field validation in ``arch/config.py``),
+    on deserialization of unknown/malformed fields, and on lookups of
+    unknown preset names or sweep axes — so a bad design point fails
+    at the configuration boundary, not deep inside a cost model.
+    """
+
+
 class ExecutionError(ReproError):
     """The parallel engine could not complete one or more jobs.
 

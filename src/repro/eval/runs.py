@@ -57,7 +57,7 @@ def gpm_run(app: str, graph_name: str, scale: float = 1.0):
 
 def compute_workload_metrics(workload, dataset: str | None = None,
                              scale: float = 1.0, *, cache=None,
-                             probe=None) -> dict:
+                             probe=None, config=None) -> dict:
     """Disk-cache-aware metrics for any registered workload.
 
     The process-safe unified entry point: resolves the workload (by
@@ -65,34 +65,38 @@ def compute_workload_metrics(workload, dataset: str | None = None,
     dict.  On a cache hit only the stored trace is re-priced; the
     per-op recording simulation is skipped entirely.  ``probe`` (a
     :class:`~repro.obs.probe.Probe`) observes cold recordings — cached
-    runs execute nothing, so they contribute no counters.
+    runs execute nothing, so they contribute no counters.  ``config``
+    (a :class:`~repro.arch.config.MachineConfigs`) selects the machine
+    pair the run is priced under; traces cache config-free.
     """
     return run_workload(workload, dataset, scale,
-                        cache=cache, probe=probe).metrics
+                        cache=cache, probe=probe, config=config).metrics
 
 
 def compute_gpm_metrics(app: str, graph_name: str, scale: float = 1.0, *,
-                        cache=None, probe=None) -> dict:
+                        cache=None, probe=None, config=None) -> dict:
     """GPM metrics by app code (thin wrapper over the pipeline)."""
     return compute_workload_metrics(workload_for_app("gpm", app),
                                     graph_name, scale,
-                                    cache=cache, probe=probe)
+                                    cache=cache, probe=probe, config=config)
 
 
 def compute_spmspm_metrics(matrix_name: str, dataflow: str, *,
-                           cache=None, probe=None) -> dict:
+                           cache=None, probe=None, config=None) -> dict:
     """SpMSpM (C = A x A) metrics for one matrix/dataflow pair."""
     return compute_workload_metrics(workload_for_app("spmspm", dataflow),
-                                    matrix_name, cache=cache, probe=probe)
+                                    matrix_name, cache=cache, probe=probe,
+                                    config=config)
 
 
 def compute_tensor_metrics(tensor_name: str, kernel: str, *,
-                           cache=None, probe=None) -> dict:
+                           cache=None, probe=None, config=None) -> dict:
     """TTV/TTM metrics for one CSF tensor (Figure 15(b))."""
     if kernel not in ("ttv", "ttm"):
         raise ValueError(f"unknown tensor kernel {kernel!r}")
     return compute_workload_metrics(workload_for_app("tensor", kernel),
-                                    tensor_name, cache=cache, probe=probe)
+                                    tensor_name, cache=cache, probe=probe,
+                                    config=config)
 
 
 # ---------------------------------------------------------------------------
@@ -100,32 +104,48 @@ def compute_tensor_metrics(tensor_name: str, kernel: str, *,
 # ---------------------------------------------------------------------------
 
 
+def _config_tag(config) -> str:
+    """Memo-key component for the pricing config (fingerprinted).
+
+    The *priced-result* identity includes the machine configuration —
+    two design points must never share a metrics entry — while the
+    trace disk cache stays config-free (one recording, many pricings).
+    """
+    return "default" if config is None else config.fingerprint()
+
+
 def _memoized(memo_key: tuple, workload, dataset: str,
-              scale: float = 1.0) -> dict:
+              scale: float = 1.0, config=None) -> dict:
+    memo_key = memo_key + (_config_tag(config),)
     hit = _CACHE.get(memo_key)
     if hit is not None:
         return hit
     metrics = compute_workload_metrics(workload, dataset, scale,
-                                       cache=default_run_cache())
+                                       cache=default_run_cache(),
+                                       config=config)
     _CACHE.put(memo_key, metrics)
     return metrics
 
 
-def gpm_metrics(app: str, graph_name: str, scale: float = 1.0) -> dict:
+def gpm_metrics(app: str, graph_name: str, scale: float = 1.0,
+                config=None) -> dict:
     """All per-run metrics any figure needs, computed once and cached."""
     from repro.graph.datasets import resolve
 
     key = ("gpm", app, resolve(graph_name).key, scale)
-    return _memoized(key, workload_for_app("gpm", app), graph_name, scale)
+    return _memoized(key, workload_for_app("gpm", app), graph_name, scale,
+                     config)
 
 
-def spmspm_metrics(matrix_name: str, dataflow: str) -> dict:
+def spmspm_metrics(matrix_name: str, dataflow: str, config=None) -> dict:
     """LRU + disk-cached :func:`compute_spmspm_metrics`."""
     return _memoized(("spmspm", matrix_name, dataflow),
-                     workload_for_app("spmspm", dataflow), matrix_name)
+                     workload_for_app("spmspm", dataflow), matrix_name,
+                     config=config)
 
 
-def tensor_metrics(tensor_name: str, kernel: str) -> dict:
+def tensor_metrics(tensor_name: str, kernel: str, config=None) -> dict:
     """LRU + disk-cached :func:`compute_tensor_metrics`."""
     return _memoized(("tensor", tensor_name, kernel),
-                     workload_for_app("tensor", kernel), tensor_name)
+                     workload_for_app("tensor", kernel), tensor_name,
+                     config=config)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.arch.config import TABLE2, SparseCoreConfig
+from repro.arch.config import TABLE2, SparseCoreConfig, default_configs
 from repro.gpm.apps import APP_REGISTRY
 from repro.graph.datasets import table4_rows
 from repro.isa.spec import INSTRUCTION_SET
@@ -21,10 +21,13 @@ def table1_rows() -> list[dict]:
     return rows
 
 
-def table2_rows() -> list[dict]:
-    """Architecture configuration (Table 2), checked against the
-    live :class:`SparseCoreConfig` defaults."""
-    cfg = SparseCoreConfig()
+def table2_rows(config: SparseCoreConfig | None = None) -> list[dict]:
+    """Architecture configuration (Table 2) for the given SparseCore
+    config (default: the ``paper`` preset), checked against the
+    paper's published values — a non-default config shows its
+    substitutions as ``match: False`` rows instead of silently
+    rendering the defaults."""
+    cfg = config if config is not None else default_configs().sparsecore
     live = {
         "Number of cores": cfg.num_cores,
         "ROB size": cfg.rob_size,

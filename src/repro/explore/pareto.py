@@ -1,0 +1,44 @@
+"""Pareto-front extraction for design-space sweeps.
+
+The explorer's summary question is "which design points are worth
+building": a point is on the front iff no other point is at least as
+good on *both* objectives (modelled area, modelled cycles) and strictly
+better on one.  Both objectives are minimized.
+"""
+
+from __future__ import annotations
+
+
+def pareto_flags(points, x_key: str, y_key: str) -> list[bool]:
+    """Per-row non-dominated flags over two minimized objectives.
+
+    ``points`` is a list of dicts carrying ``x_key`` and ``y_key``.
+    Duplicate coordinates are all flagged (they dominate each other
+    weakly, not strictly).  O(n log n): sort by (x, y) and scan the
+    running y minimum.
+    """
+    order = sorted(range(len(points)),
+                   key=lambda i: (points[i][x_key], points[i][y_key]))
+    flags = [False] * len(points)
+    best_y = None
+    best_x = None
+    for i in order:
+        x, y = points[i][x_key], points[i][y_key]
+        if best_y is None or y < best_y:
+            flags[i] = True
+            best_y, best_x = y, x
+        elif y == best_y and x == best_x:
+            # exact tie with the current frontier point
+            flags[i] = True
+    return flags
+
+
+def pareto_front(points, x_key: str = "area_mm2",
+                 y_key: str = "sc_cycles") -> list[dict]:
+    """The non-dominated subset, sorted by ``x_key`` ascending."""
+    flags = pareto_flags(points, x_key, y_key)
+    front = [p for p, keep in zip(points, flags) if keep]
+    return sorted(front, key=lambda p: (p[x_key], p[y_key]))
+
+
+__all__ = ["pareto_flags", "pareto_front"]

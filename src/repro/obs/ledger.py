@@ -362,6 +362,25 @@ def aggregate(scan: LedgerScan, *, top: int = 8) -> dict:
                 "records": 0, "prices": 0, "record_s": 0.0, "price_s": 0.0})
             row["cache_hits"] = row.get("cache_hits", 0) + 1
 
+    # Design-space sweeps leave one explore.sweep span each, carrying
+    # its own cache totals (so no interval-matching is needed here) and
+    # one explore.point span per priced (workload, grid point).
+    sweeps = by_ev.get("explore.sweep", [])
+    point_spans = by_ev.get("explore.point", [])
+    sweep_lookups = sum(int(e.get("lookups", 0)) for e in sweeps)
+    sweep_hits = sum(int(e.get("hits", 0)) for e in sweeps)
+    explore = {
+        "sweeps": len(sweeps),
+        "points_priced": len(point_spans),
+        "grid_points": sum(int(e.get("points", 0)) for e in sweeps),
+        "workloads_swept": sum(int(e.get("workloads", 0)) for e in sweeps),
+        "lookups": sweep_lookups,
+        "hits": sweep_hits,
+        "hit_rate": (round(sweep_hits / sweep_lookups, 4)
+                     if sweep_lookups else None),
+        "sweep_s": round(sum(float(e.get("dur", 0.0)) for e in sweeps), 6),
+    }
+
     knob_events = by_ev.get("resilience.knob_warning", [])
     resilience = {
         "knob_warnings": len(knob_events),
@@ -385,6 +404,7 @@ def aggregate(scan: LedgerScan, *, top: int = 8) -> dict:
         "engine": engine,
         "slowest_jobs": slowest_jobs,
         "workloads": dict(sorted(workloads.items())),
+        "explore": explore,
         "resilience": resilience,
     }
 

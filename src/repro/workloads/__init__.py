@@ -17,7 +17,10 @@ from repro.workloads.pricing import (
     BW_SWEEP,
     OPERAND_SEED,
     SU_SWEEP,
+    core_reports,
     price_run,
+    resolve_configs,
+    sweep_cycle_table,
 )
 from repro.workloads.registry import (
     FIGURES,
@@ -39,8 +42,9 @@ from repro.workloads.spec import WorkloadSpec, dataset_for
 __all__ = [
     "BW_SWEEP", "FIGURES", "HEAVY_TRIMS", "OPERAND_SEED", "REGISTRY",
     "RunResult", "SMOKE_SUITE", "SMOKE_WORKLOADS", "SU_SWEEP",
-    "WorkloadSpec", "dataset_for", "dataset_params", "effective_scale",
-    "figure_apps", "figure_datasets", "figure_suite_runs",
-    "figure_workloads", "get_workload", "price_run", "run_fingerprint",
-    "run_workload", "workload_for_app", "workload_names",
+    "WorkloadSpec", "core_reports", "dataset_for", "dataset_params",
+    "effective_scale", "figure_apps", "figure_datasets",
+    "figure_suite_runs", "figure_workloads", "get_workload", "price_run",
+    "resolve_configs", "run_fingerprint", "run_workload",
+    "sweep_cycle_table", "workload_for_app", "workload_names",
 ]

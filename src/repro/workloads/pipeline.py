@@ -29,6 +29,11 @@ from repro.workloads.registry import get_workload
 from repro.workloads.spec import WorkloadSpec
 
 
+def _config_fp(config) -> str:
+    """Ledger/memo tag of the pricing config (``default`` = paper)."""
+    return "default" if config is None else config.fingerprint()
+
+
 def dataset_params(dspec) -> dict:
     """The generator parameters that determine a dataset's content."""
     from repro.graph.datasets import GraphSpec
@@ -82,6 +87,10 @@ class RunResult:
     scale: float
     trace: object  # FrozenTrace
     metrics: dict | None
+    #: machine configuration the metrics were priced under (``None`` =
+    #: the ``paper`` preset); not part of the trace cache key — traces
+    #: are recording artifacts, configs only matter at pricing time
+    config: object = None  # MachineConfigs | None
     meta: dict = field(default_factory=dict)
     lengths: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64))
@@ -135,7 +144,8 @@ _RECORDERS = {"gpm": _record_gpm, "spmspm": _record_spmspm,
 
 def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
                  scale: float = 1.0, *, cache=None, probe=None,
-                 price: bool = True, backend: str | None = None) -> RunResult:
+                 price: bool = True, backend: str | None = None,
+                 config=None) -> RunResult:
     """Run one registered workload through the shared pipeline.
 
     ``cache`` (a :class:`~repro.perf.cache.RunCache`) short-circuits
@@ -147,7 +157,15 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
     ``backend`` selects the recording backend (``rows``/``columnar``;
     ``None`` resolves via ``$REPRO_RECORD_BACKEND``) — it is part of
     the cache fingerprint, so entries recorded under different backends
-    never alias.
+    never alias.  ``config`` (a
+    :class:`~repro.arch.config.MachineConfigs`; ``None`` = the
+    ``paper`` preset) selects the machine pair the trace is priced
+    under.  It is deliberately **not** part of the trace cache key:
+    recording is config-independent, so one cached trace re-prices
+    under any number of design points — which is what makes
+    :mod:`repro.explore` sweeps cheap.  The config fingerprint is part
+    of every *priced-result* identity instead (memo keys, engine job
+    keys).
     """
     from repro.obs.spans import clock
     from repro.record import normalize_backend
@@ -173,12 +191,15 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
             t0 = led.start()
             metrics = price_run(spec, dspec.key, hit.trace,
                                 lengths=hit.lengths,
-                                meta=hit.meta) if price else None
+                                meta=hit.meta,
+                                configs=config) if price else None
             led.span("price", t0, workload=spec.name, dataset=dspec.key,
-                     backend=backend, fp=key, cached=True)
+                     backend=backend, fp=key, cached=True,
+                     cfg=_config_fp(config))
             return RunResult(spec=spec, dataset=dspec.key, scale=scale,
                              trace=hit.trace, metrics=metrics,
-                             meta=dict(hit.meta), lengths=hit.lengths,
+                             config=config, meta=dict(hit.meta),
+                             lengths=hit.lengths,
                              cached=True, backend=backend)
 
     from repro.machine.context import Machine
@@ -203,12 +224,14 @@ def run_workload(workload: str | WorkloadSpec, dataset: str | None = None,
         })
     t0 = led.start()
     metrics = price_run(spec, dspec.key, trace, lengths=lengths,
-                        meta=meta) if price else None
+                        meta=meta, configs=config) if price else None
     led.span("price", t0, workload=spec.name, dataset=dspec.key,
-             backend=backend, fp=key, cached=False)
+             backend=backend, fp=key, cached=False,
+             cfg=_config_fp(config))
     return RunResult(spec=spec, dataset=dspec.key, scale=scale, trace=trace,
-                     metrics=metrics, meta=meta, lengths=lengths,
-                     summary=summary, cached=False, backend=backend)
+                     metrics=metrics, config=config, meta=meta,
+                     lengths=lengths, summary=summary, cached=False,
+                     backend=backend)
 
 
 __all__ = ["RunResult", "dataset_params", "run_fingerprint", "run_workload"]

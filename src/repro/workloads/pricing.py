@@ -5,6 +5,14 @@ same trace under every machine model (Section 6.1).  These functions
 are the single pricing path: the cold (just recorded) and warm (loaded
 from the disk cache) pipeline branches both call them on the frozen
 trace, so cached metrics are bit-identical by construction.
+
+Every function takes the :class:`~repro.arch.config.MachineConfigs`
+bundle it prices under (``None`` = the ``paper`` preset, Table 2); no
+model instantiates its own configuration.  The Figure 12/13 SU and
+bandwidth sweep variants derive from the *passed* config via
+:func:`~repro.arch.config.config_variant`, so sweeping a non-default
+design point sweeps around *that* point — which is exactly what the
+:mod:`repro.explore` harness builds on.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from repro.accel import (
     TrieJaxModel,
 )
 from repro.accel.triejax import Unsupported
-from repro.arch.config import SparseCoreConfig
+from repro.arch.config import MachineConfigs, config_variant, default_configs
 from repro.arch.cpu import CpuModel
 from repro.arch.sparsecore import SparseCoreModel
 from repro.gpm import pattern as pat
@@ -46,13 +54,47 @@ _APP_PATTERNS = {
 OPERAND_SEED = 7
 
 
+def resolve_configs(configs: MachineConfigs | None) -> MachineConfigs:
+    """The machine pair a run prices under (``None`` = ``paper``)."""
+    return default_configs() if configs is None else configs
+
+
+def sweep_cycle_table(trace, sc_config, field_name: str,
+                      values) -> dict:
+    """``{value: total_cycles}`` re-pricing one trace along one axis.
+
+    The single sweep-pricing helper: the Figure 12 SU sweep, the
+    Figure 13 bandwidth sweep, and every :mod:`repro.explore` axis all
+    go through it, each design point derived from ``sc_config`` via
+    :func:`~repro.arch.config.config_variant`.
+    """
+    return {
+        value: SparseCoreModel(config_variant(sc_config, field_name, value))
+        .cost(trace).total_cycles
+        for value in values
+    }
+
+
+def core_reports(trace, configs: MachineConfigs):
+    """CPU report, SparseCore report, and the 1-SU cycle count.
+
+    The pricing shared by every workload family (GPM and tensor paths
+    used to build these three models independently).
+    """
+    cpu = CpuModel(configs.cpu).cost(trace)
+    sc = SparseCoreModel(configs.sparsecore).cost(trace)
+    one_su = SparseCoreModel(configs.sparsecore.with_sus(1)).cost(trace)
+    return cpu, sc, one_su
+
+
 def gpm_metrics_from_trace(app: str, graph_key: str, trace, *,
                            count: int, num_vertices: int,
-                           lengths: np.ndarray) -> dict:
+                           lengths: np.ndarray,
+                           configs: MachineConfigs | None = None) -> dict:
     """Everything any GPM figure needs from one recorded run."""
-    cpu = CpuModel().cost(trace)
-    sc = SparseCoreModel().cost(trace)
-    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
+    configs = resolve_configs(configs)
+    cpu, sc, one_su = core_reports(trace, configs)
+    sc_config = configs.sparsecore
 
     metrics: dict = {
         "app": app,
@@ -65,16 +107,9 @@ def gpm_metrics_from_trace(app: str, graph_key: str, trace, *,
         "speedup_vs_cpu": sc.speedup_over(cpu),
         "cpu_breakdown": cpu.breakdown(),
         "sc_breakdown": sc.breakdown(),
-        "su_sweep": {
-            n: SparseCoreModel(SparseCoreConfig(num_sus=n)).cost(trace)
-            .total_cycles
-            for n in SU_SWEEP
-        },
-        "bw_sweep": {
-            bw: SparseCoreModel(SparseCoreConfig(scache_bandwidth=bw))
-            .cost(trace).total_cycles
-            for bw in BW_SWEEP
-        },
+        "su_sweep": sweep_cycle_table(trace, sc_config, "num_sus", SU_SWEEP),
+        "bw_sweep": sweep_cycle_table(trace, sc_config, "scache_bandwidth",
+                                      BW_SWEEP),
         "stream_lengths": np.asarray(lengths, dtype=np.int64),
     }
 
@@ -101,11 +136,10 @@ def gpm_metrics_from_trace(app: str, graph_key: str, trace, *,
     return metrics
 
 
-def tensor_common_metrics(trace, extra: dict) -> dict:
+def tensor_common_metrics(trace, extra: dict, *,
+                          configs: MachineConfigs | None = None) -> dict:
     """CPU/SparseCore pricing shared by SpMSpM and TTV/TTM runs."""
-    cpu = CpuModel().cost(trace)
-    sc = SparseCoreModel().cost(trace)
-    one_su = SparseCoreModel(SparseCoreConfig(num_sus=1)).cost(trace)
+    cpu, sc, one_su = core_reports(trace, resolve_configs(configs))
     return {
         "num_ops": trace.num_ops,
         "cpu_cycles": cpu.total_cycles,
@@ -143,7 +177,8 @@ def tensor_operands(tensor):
 
 
 def price_run(spec, dataset_key: str, trace, *, lengths=None,
-              meta: dict | None = None) -> dict:
+              meta: dict | None = None,
+              configs: MachineConfigs | None = None) -> dict:
     """The family-dispatched metrics dict for one frozen trace."""
     meta = meta or {}
     if spec.family == "gpm":
@@ -153,18 +188,21 @@ def price_run(spec, dataset_key: str, trace, *, lengths=None,
             num_vertices=int(meta["num_vertices"]),
             lengths=lengths if lengths is not None
             else np.empty(0, dtype=np.int64),
+            configs=configs,
         )
     if spec.family == "spmspm":
         return tensor_common_metrics(trace, {
             "matrix": dataset_key, "dataflow": spec.app,
             **spmspm_accel_cycles(trace, spec.app),
-        })
+        }, configs=configs)
     return tensor_common_metrics(
-        trace, {"tensor": dataset_key, "kernel": spec.app})
+        trace, {"tensor": dataset_key, "kernel": spec.app},
+        configs=configs)
 
 
 __all__ = [
-    "BW_SWEEP", "OPERAND_SEED", "SU_SWEEP", "gpm_metrics_from_trace",
-    "price_run", "spmspm_accel_cycles", "tensor_common_metrics",
+    "BW_SWEEP", "OPERAND_SEED", "SU_SWEEP", "core_reports",
+    "gpm_metrics_from_trace", "price_run", "resolve_configs",
+    "spmspm_accel_cycles", "sweep_cycle_table", "tensor_common_metrics",
     "tensor_operands",
 ]
